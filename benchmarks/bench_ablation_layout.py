@@ -1,0 +1,156 @@
+"""Ablation: GPU memory layout strategies (§3.1.2, Fig. 6/7).
+
+The paper rejects two layouts before settling on the four fixed-width
+pools with `offset*N + tid` indexing:
+
+1. **one fixed-width uint8 array** — wide variables split across several
+   strided locations (Fig. 6): loading a 16-bit variable touches two
+   non-adjacent stripes -> uncoalesced;
+2. **per-variable dynamic allocation** — allocation overhead and
+   fragmentation.
+
+This bench reproduces those comparisons with numpy as the memory system:
+the batch axis is the coalescing axis, so the paper's access patterns map
+to contiguous-slice vs strided/gathered access.
+"""
+
+import numpy as np
+import pytest
+
+N = 1 << 14  # stimulus
+VARS = 48  # 16-bit variables
+
+
+@pytest.fixture(scope="module")
+def pooled():
+    """The paper's layout: one uint16 pool, variable v at [v*N:(v+1)*N]."""
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 1 << 16, VARS * N, dtype=np.uint16)
+
+
+@pytest.fixture(scope="module")
+def bytewise():
+    """Fig. 6's rejected layout: one uint8 array, each 16-bit variable in
+    two byte stripes (sum1/sum2)."""
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 256, 2 * VARS * N, dtype=np.uint8)
+
+
+@pytest.fixture(scope="module")
+def fragmented():
+    """Per-variable allocation: many small independent arrays."""
+    rng = np.random.default_rng(0)
+    return [
+        rng.integers(0, 1 << 16, N, dtype=np.uint16) for _ in range(VARS)
+    ]
+
+
+def _work_pooled(pool):
+    acc = np.zeros(N, dtype=np.uint64)
+    for v in range(VARS):
+        acc += pool[v * N : (v + 1) * N].astype(np.uint64, copy=False)
+    return acc
+
+
+def _work_bytewise(arr):
+    acc = np.zeros(N, dtype=np.uint64)
+    for v in range(VARS):
+        lo = arr[(2 * v) * N : (2 * v + 1) * N].astype(np.uint64, copy=False)
+        hi = arr[(2 * v + 1) * N : (2 * v + 2) * N].astype(np.uint64, copy=False)
+        acc += (hi << np.uint64(8)) | lo
+    return acc
+
+
+def _work_fragmented(arrays):
+    acc = np.zeros(N, dtype=np.uint64)
+    for a in arrays:
+        acc += a.astype(np.uint64, copy=False)
+    return acc
+
+
+def test_pooled_layout(benchmark, pooled):
+    benchmark(_work_pooled, pooled)
+
+
+def test_bytewise_layout(benchmark, bytewise):
+    benchmark(_work_bytewise, bytewise)
+
+
+def test_fragmented_layout(benchmark, fragmented):
+    benchmark(_work_fragmented, fragmented)
+
+
+def test_bytewise_is_slower_than_pooled(pooled, bytewise):
+    """Fig. 6's claim: reconstructing wide values from byte stripes loses
+    to native-width pools."""
+    import time
+
+    def best(fn, arg):
+        t = []
+        for _ in range(5):
+            t0 = time.perf_counter()
+            fn(arg)
+            t.append(time.perf_counter() - t0)
+        return min(t)
+
+    t_pool = best(_work_pooled, pooled)
+    t_byte = best(_work_bytewise, bytewise)
+    assert t_byte > t_pool, (t_byte, t_pool)
+
+
+def test_allocation_overhead_of_fragmented_layout():
+    """Per-variable allocation pays per-array overhead the pools avoid
+    ('significant memory allocation overheads', §3.1)."""
+    import time
+
+    def alloc_pooled():
+        return np.zeros(VARS * N, dtype=np.uint16)
+
+    def alloc_fragmented():
+        return [np.zeros(N, dtype=np.uint16) for _ in range(VARS)]
+
+    def best(fn):
+        t = []
+        for _ in range(5):
+            t0 = time.perf_counter()
+            fn()
+            t.append(time.perf_counter() - t0)
+        return min(t)
+
+    assert best(alloc_fragmented) > best(alloc_pooled)
+
+
+def test_aos_interleaving_is_slower():
+    """AoS (tid-major) vs the paper's SoA (offset-major): batch reads of
+    one variable become strided."""
+    import time
+
+    rng = np.random.default_rng(1)
+    soa = rng.integers(0, 1 << 16, VARS * N, dtype=np.uint16)
+    aos = np.ascontiguousarray(
+        soa.reshape(VARS, N).T
+    ).ravel()  # tid-major: variable v of lane t at [t*VARS + v]
+
+    def read_soa():
+        acc = np.zeros(N, dtype=np.uint64)
+        for v in range(VARS):
+            acc += soa[v * N : (v + 1) * N].astype(np.uint64, copy=False)
+        return acc
+
+    def read_aos():
+        acc = np.zeros(N, dtype=np.uint64)
+        for v in range(VARS):
+            acc += aos[v :: VARS].astype(np.uint64)  # strided gather
+        return acc
+
+    def best(fn):
+        t = []
+        for _ in range(5):
+            t0 = time.perf_counter()
+            fn()
+            t.append(time.perf_counter() - t0)
+        return min(t)
+
+    t_soa, t_aos = best(read_soa), best(read_aos)
+    assert np.array_equal(read_soa(), read_aos())
+    assert t_aos > t_soa, (t_aos, t_soa)

@@ -1,0 +1,52 @@
+"""Figures 14 & 15: partition shapes and utilization curves."""
+
+import pytest
+
+from benchmarks.common import load_design, time_rtlflow_pipeline
+from benchmarks.harness import run_fig14, run_fig15
+from repro.partition.merge import partition
+from repro.partition.weights import WeightVector
+
+CYCLES = 30
+
+
+@pytest.fixture(scope="module")
+def spinal():
+    return load_design("spinal", taps=4)
+
+
+def test_partition_speed(benchmark, spinal):
+    benchmark.pedantic(lambda: partition(spinal.graph), rounds=5, iterations=1)
+
+
+def test_fig14_wider_levels_from_smaller_tasks(spinal):
+    """Fig 14's observation: the GPU-aware partition favours many parallel
+    tasks per level.  Mechanically, raising weights makes tasks smaller
+    and levels wider."""
+    coarse = partition(spinal.graph, target_weight=1e9)
+    w = WeightVector.ones(spinal.graph)
+    for t in w.types:
+        w.values[t] = 40.0
+    fine = partition(spinal.graph, weights=w, target_weight=64.0)
+    assert fine.max_concurrency() >= coarse.max_concurrency()
+    assert fine.n_comb_tasks >= coarse.n_comb_tasks
+
+
+def test_dot_output(spinal):
+    dot = partition(spinal.graph).to_dot()
+    assert dot.startswith("digraph")
+
+
+def test_fig15_pipeline_utilization_not_worse(spinal):
+    r, _ = time_rtlflow_pipeline(spinal, 256, CYCLES)
+    assert r.pipelined_utilization >= r.sequential_utilization - 0.01
+
+
+def test_fig14_harness():
+    out = run_fig14("quick")
+    assert "Figure 14" in out
+
+
+def test_fig15_harness():
+    out = run_fig15("quick")
+    assert "Figure 15" in out

@@ -1,0 +1,80 @@
+"""Table 2: overall elapsed time, Verilator (80 threads) vs RTLflow.
+
+Quick-scale regeneration of the headline comparison.  The paper's claims
+this bench checks:
+
+* RTLflow scales sub-linearly in #stimulus (vectorized batch axis) while
+  the CPU baseline scales linearly;
+* there is a break-even batch size above which RTLflow wins even against
+  the modeled 80-thread CPU host.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    load_design,
+    measure_lane_seconds,
+    modeled_cpu_batch_seconds,
+    time_rtlflow,
+)
+from benchmarks.harness import PAPER_CPU_WORKERS, run_table2
+
+CYCLES = 60
+
+
+@pytest.fixture(scope="module")
+def spinal():
+    return load_design("spinal", taps=4)
+
+
+def test_rtlflow_run(benchmark, spinal):
+    """Benchmark the measured RTLflow side of Table 2."""
+    benchmark.pedantic(
+        lambda: time_rtlflow(spinal, 128, CYCLES), rounds=3, iterations=1
+    )
+
+
+def test_rtlflow_scales_sublinearly(spinal):
+    t_small, _ = time_rtlflow(spinal, 32, CYCLES)
+    t_big, _ = time_rtlflow(spinal, 32 * 16, CYCLES)
+    # 16x the stimulus must cost far less than 16x the time (paper Fig 13:
+    # 16x stimulus -> ~4x time at the large end; at laptop sizes the batch
+    # axis is almost free).
+    assert t_big < t_small * 8, (t_small, t_big)
+
+
+def test_cpu_baseline_scales_linearly(spinal):
+    lane = measure_lane_seconds(spinal, CYCLES)
+    t1 = modeled_cpu_batch_seconds(lane, 512, PAPER_CPU_WORKERS)
+    t2 = modeled_cpu_batch_seconds(lane, 512 * 8, PAPER_CPU_WORKERS)
+    t3 = modeled_cpu_batch_seconds(lane, 512 * 16, PAPER_CPU_WORKERS)
+    # Past the constant fork/startup term the marginal cost per stimulus
+    # is constant: the 8->16x increment equals the 1->8x increment per lane.
+    marginal_a = (t2 - t1) / (512 * 7)
+    marginal_b = (t3 - t2) / (512 * 8)
+    assert marginal_a == pytest.approx(marginal_b, rel=0.05)
+    assert t3 > t1
+
+
+def test_break_even_exists(spinal):
+    """Above some batch size the projected device beats the modeled
+    80-thread host (the paper's Table 2 break-even, 256-1024 stimulus)."""
+    from benchmarks.common import time_rtlflow_projected
+
+    lane = measure_lane_seconds(spinal, CYCLES)
+    n = 64
+    won = False
+    while n <= 16384:
+        cpu = modeled_cpu_batch_seconds(lane, n, PAPER_CPU_WORKERS)
+        _, projected, _ = time_rtlflow_projected(spinal, n, CYCLES)
+        if projected < cpu:
+            won = True
+            break
+        n *= 4
+    assert won, "RTLflow never overtook the modeled CPU baseline"
+
+
+def test_table2_harness():
+    out = run_table2("quick")
+    assert "Table 2" in out
+    assert "speed-up" in out

@@ -1,0 +1,76 @@
+"""Table 4: CUDA Graph execution vs stream-based execution.
+
+The paper's claim: define-once-run-repeatedly graph launch beats
+rebuilding stream/event schedules every cycle, 2.6x-7.6x at 4096
+stimulus.  Here both executors run the *same* kernels; the difference is
+pure scheduling overhead (real Python bookkeeping + modeled CUDA-call
+latency), so the win direction must be stable.
+"""
+
+import pytest
+
+from benchmarks.common import load_design, time_rtlflow
+from benchmarks.harness import run_table4
+from repro.gpu.device import SimulatedDevice
+
+N = 128
+CYCLES = 40
+
+
+@pytest.fixture(scope="module")
+def spinal():
+    return load_design("spinal", taps=4)
+
+
+@pytest.mark.parametrize("executor", ["stream", "graph", "graph-fused"])
+def test_executor_throughput(benchmark, spinal, executor):
+    benchmark.pedantic(
+        lambda: time_rtlflow(spinal, N, CYCLES, executor=executor),
+        rounds=3, iterations=1,
+    )
+
+
+def test_graph_beats_stream_in_total_device_time(spinal):
+    def best(executor):
+        results = []
+        for _ in range(3):
+            dev = SimulatedDevice()
+            wall, _ = time_rtlflow(spinal, N, CYCLES, executor=executor,
+                                   device=dev)
+            results.append(wall + dev.stats.overhead_seconds)
+        return min(results)  # min-of-trials: robust to scheduler noise
+
+    total_s = best("stream")
+    total_g = best("graph")
+    assert total_g < total_s, (total_g, total_s)
+
+
+def test_overheads_scale_with_cycles(spinal):
+    """Stream overhead accumulates per cycle; graph overhead per cycle is
+    one launch (Fig. 9)."""
+    dev = SimulatedDevice()
+    time_rtlflow(spinal, 32, 10, executor="stream", device=dev)
+    per_cycle_calls_10 = dev.stats.kernel_launches / 10
+    dev2 = SimulatedDevice()
+    time_rtlflow(spinal, 32, 30, executor="stream", device=dev2)
+    per_cycle_calls_30 = dev2.stats.kernel_launches / 30
+    assert per_cycle_calls_10 == pytest.approx(per_cycle_calls_30, rel=0.01)
+
+    devg = SimulatedDevice()
+    time_rtlflow(spinal, 32, 10, executor="graph", device=devg)
+    # <= 3 graph launches per cycle: comb at each clock phase + seq at the
+    # posedge (exactly the define-once-run-repeatedly pattern).
+    assert devg.stats.graph_launches <= 3 * 10
+    assert devg.stats.kernel_launches == 0
+
+
+def test_fused_graph_is_not_slower(spinal):
+    t_graph, _ = time_rtlflow(spinal, N, CYCLES, executor="graph")
+    t_fused, _ = time_rtlflow(spinal, N, CYCLES, executor="graph-fused")
+    # Whole-graph fusion removes per-task call overhead; allow noise.
+    assert t_fused < t_graph * 1.3
+
+
+def test_table4_harness():
+    out = run_table4("quick")
+    assert "Table 4" in out

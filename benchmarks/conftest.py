@@ -1,0 +1,16 @@
+"""Benchmark suite configuration.
+
+Each ``bench_table*/bench_fig*`` module regenerates one table or figure of
+the paper at "quick" scale (so ``pytest benchmarks/ --benchmark-only``
+stays minutes, not hours) and asserts the qualitative property the paper
+claims.  The full paper-style sweeps are produced by
+``python -m benchmarks.harness --all --scale default``.
+"""
+
+import os
+import sys
+
+# Make `import benchmarks.common` work when pytest is run from the repo root.
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+collect_ignore_glob = ["results/*"]

@@ -1,0 +1,62 @@
+"""Design-space exploration with batch stimulus on the MAC-array accelerator.
+
+§2.3 of the paper: batch-stimulus throughput matters for "design space
+exploration tasks that count on large numbers of stimulus to validate
+design choices".  This example sweeps the accelerator's PE count and the
+batch size, measuring simulation throughput and collecting a per-design
+output signature so configurations can be compared.
+
+Run:  python examples/nvdla_design_space.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import RTLFlow
+from repro.analysis.report import format_table
+from repro.designs import get_design
+
+
+def run_config(pes: int, n: int, cycles: int = 60, seed: int = 7):
+    bundle = get_design("nvdla", pes=pes)
+    flow = RTLFlow.from_source(bundle.source, bundle.top)
+    sim = flow.simulator(n=n)
+    bundle.preload(sim)
+    stim = bundle.make_stimulus(n, cycles, seed)
+    t0 = time.perf_counter()
+    outs = sim.run(stim)
+    elapsed = time.perf_counter() - t0
+    signature = int(outs["checksum"].astype(np.uint64).sum() & 0xFFFFFFFF)
+    return {
+        "pes": pes,
+        "n": n,
+        "elapsed": elapsed,
+        "lane_cycles_per_s": n * cycles / elapsed,
+        "graph_nodes": flow.graph.stats()["ast_nodes"],
+        "signature": signature,
+    }
+
+
+def main() -> None:
+    rows = []
+    for pes in (2, 4, 8):
+        for n in (64, 256, 1024):
+            r = run_config(pes, n)
+            rows.append(
+                [r["pes"], r["graph_nodes"], r["n"], f"{r['elapsed']:.2f}s",
+                 f"{r['lane_cycles_per_s']:,.0f}", f"{r['signature']:#010x}"]
+            )
+    print(format_table(
+        ["PEs", "AST nodes", "#stimulus", "time", "lane-cycles/s",
+         "output signature"],
+        rows,
+        title="nvdla_lite design-space sweep (batch stimulus)",
+    ))
+    print("\nNote how throughput per lane *rises* with batch size: the "
+          "batch axis is vectorized, so stimulus-level parallelism is "
+          "nearly free — the paper's core observation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Pipeline scheduling: overlapping CPU set_inputs with GPU evaluation.
+
+Reproduces the Fig. 11/16 story at example scale: batch stimulus is split
+into groups; while the device evaluates one group's cycle, CPU workers
+decode the next group's inputs.  Prints both schedules' makespans and an
+ASCII timeline of each (the Nsight-screenshot analog).
+
+Run:  python examples/pipeline_overlap.py
+"""
+
+from repro import RTLFlow
+from repro.core.codegen import transpile
+from repro.designs import get_design
+from repro.gpu.timeline import TimelineSpan, render_timeline
+from repro.pipeline.scheduler import PipelineSimulator
+from repro.pipeline.virtualtime import makespan_pipelined, makespan_sequential
+from repro.stimulus.batch import TextStimulusBatch
+
+import numpy as np
+
+
+def main() -> None:
+    bundle = get_design("spinal", taps=8)
+    flow = RTLFlow.from_source(bundle.source, bundle.top)
+    model = flow.compile()
+
+    n, cycles, groups = 512, 40, 4
+    stim = bundle.make_stimulus(n, cycles, seed=3)
+    # Text-encoded stimulus: set_inputs pays realistic decode cost.
+    tstim = TextStimulusBatch(stim.to_texts())
+
+    pipe = PipelineSimulator(model, n, groups=groups, cpu_workers=4)
+    outs = pipe.run_virtual(tstim)
+    r = pipe.report
+    print(f"batch: {n} stimulus x {cycles} cycles in {groups} groups")
+    print(f"  set_inputs total: {r.set_inputs_seconds:.3f}s   "
+          f"evaluate total: {r.evaluate_seconds:.3f}s")
+    print(f"  without pipeline: {r.sequential_makespan:.3f}s  "
+          f"(GPU util {r.sequential_utilization:.0%})")
+    print(f"  with pipeline:    {r.pipelined_makespan:.3f}s  "
+          f"(GPU util {r.pipelined_utilization:.0%})")
+    gain = (r.sequential_makespan - r.pipelined_makespan) / r.sequential_makespan
+    print(f"  improvement: {gain:+.1%}")
+
+    # Render small synthetic timelines so the overlap is visible.
+    rng = np.random.default_rng(1)
+    cpu = np.abs(rng.normal(1.0, 0.15, (groups, 5))) * 1e-3
+    gpu = np.abs(rng.normal(0.8, 0.10, (groups, 5))) * 1e-3
+    for title, fn in (("WITHOUT pipeline (per-cycle barrier)", makespan_sequential),
+                      ("WITH pipeline (groups overlap)", makespan_pipelined)):
+        res = fn(cpu, gpu, 2)
+        spans = [TimelineSpan(r_, lbl, s, e) for r_, lbl, s, e in res.spans]
+        print(f"\n--- {title}: GPU util {res.gpu_utilization:.0%} ---")
+        print(render_timeline(spans, width=80))
+
+    # Results are identical either way (scheduling never changes values).
+    mono = flow.simulator(n=n)
+    expect = mono.run(stim)
+    for k, v in outs.items():
+        assert np.array_equal(v, expect[k])
+    print("\nresult check vs monolithic batch simulator: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim so `pip install -e .` works without network access
+(the offline environment lacks the `wheel` package needed for PEP 517
+editable installs)."""
+
+from setuptools import setup
+
+setup()

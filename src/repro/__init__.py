@@ -1,0 +1,24 @@
+"""repro — a Python reproduction of RTLflow (Lin et al., ICPP 2022).
+
+A GPU-acceleration flow for RTL simulation with batch stimulus: Verilog is
+transpiled into vectorized batch kernels (one "thread" per stimulus), the
+RTL graph is partitioned into macro tasks with an MCMC-tuned, GPU-aware
+algorithm, executed through a CUDA-Graph-style define-once-run-repeatedly
+plan, and overlapped with CPU-side input setting by a pipeline scheduler.
+
+Public entry points:
+
+* :class:`repro.RTLFlow` — the end-to-end flow (Fig. 3).
+* :class:`repro.BatchSimulator` — the multi-stimulus runtime.
+* :class:`repro.stimulus.StimulusBatch` — batch stimulus containers.
+* :mod:`repro.baselines` — Verilator-like and ESSENT-like CPU baselines.
+* :mod:`repro.designs` — the bundled benchmark designs.
+"""
+
+from repro.core.flow import RTLFlow
+from repro.core.simulator import BatchSimulator
+from repro.stimulus.batch import StimulusBatch
+
+__version__ = "1.0.0"
+
+__all__ = ["RTLFlow", "BatchSimulator", "StimulusBatch", "__version__"]

@@ -1,0 +1,6 @@
+"""Transpilation metrics and report formatting (Table 1 et al.)."""
+
+from repro.analysis.metrics import CodeMetrics, code_metrics, transpilation_row
+from repro.analysis.report import format_table
+
+__all__ = ["CodeMetrics", "code_metrics", "transpilation_row", "format_table"]

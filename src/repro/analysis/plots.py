@@ -1,0 +1,110 @@
+"""Terminal plots for the figure experiments.
+
+The paper's figures are line charts (runtime vs #stimulus, utilization vs
+#stimulus) and stacked bars (runtime breakdown); these render readable
+ASCII equivalents so ``python -m benchmarks.harness`` output matches the
+figures at a glance without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_lineplot(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Plot named (x, y) series on one canvas with per-series markers."""
+    pts = [(x, y) for s in series.values() for x, y in s]
+    if not pts:
+        return "(no data)"
+
+    def tx(v: float) -> float:
+        return math.log10(max(v, 1e-12)) if logx else v
+
+    def ty(v: float) -> float:
+        return math.log10(max(v, 1e-12)) if logy else v
+
+    xs = [tx(x) for x, _ in pts]
+    ys = [ty(y) for _, y in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, (name, data) in enumerate(series.items()):
+        marker = _MARKERS[i % len(_MARKERS)]
+        for x, y in data:
+            col = int((tx(x) - x0) / xr * (width - 1))
+            row = height - 1 - int((ty(y) - y0) / yr * (height - 1))
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    ymax_label = f"{10 ** y1:.3g}" if logy else f"{y1:.3g}"
+    ymin_label = f"{10 ** y0:.3g}" if logy else f"{y0:.3g}"
+    label_w = max(len(ymax_label), len(ymin_label), len(ylabel)) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = ymax_label
+        elif r == height - 1:
+            label = ymin_label
+        elif r == height // 2 and ylabel:
+            label = ylabel
+        else:
+            label = ""
+        lines.append(f"{label:>{label_w}} |{''.join(row)}|")
+    xmax_label = f"{10 ** x1:.3g}" if logx else f"{x1:.3g}"
+    xmin_label = f"{10 ** x0:.3g}" if logx else f"{x0:.3g}"
+    axis = f"{'':>{label_w}} +{'-' * width}+"
+    xaxis = (
+        f"{'':>{label_w}}  {xmin_label}"
+        f"{xlabel:^{max(1, width - len(xmin_label) - len(xmax_label))}}"
+        f"{xmax_label}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    return "\n".join(lines + [axis, xaxis, f"{'':>{label_w}}  {legend}"])
+
+
+def ascii_stacked_bars(
+    categories: Sequence[str],
+    parts: Mapping[str, Sequence[float]],
+    width: int = 50,
+    unit: str = "s",
+) -> str:
+    """Horizontal stacked bars (Fig. 2's breakdown chart).
+
+    ``parts`` maps part name -> per-category values; each bar stacks the
+    parts with distinct fill characters.
+    """
+    fills = "#=.~:+"
+    totals = [sum(vals[i] for vals in parts.values())
+              for i in range(len(categories))]
+    vmax = max(totals) if totals else 1.0
+    label_w = max(len(str(c)) for c in categories) + 1
+    lines = []
+    for i, cat in enumerate(categories):
+        bar = ""
+        for j, (name, vals) in enumerate(parts.items()):
+            n = int(round(vals[i] / vmax * width))
+            bar += fills[j % len(fills)] * n
+        lines.append(
+            f"{str(cat):>{label_w}} |{bar:<{width}}| {totals[i]:.3g}{unit}"
+        )
+    legend = "   ".join(
+        f"{fills[j % len(fills)]} = {name}" for j, name in enumerate(parts)
+    )
+    lines.append(f"{'':>{label_w}}  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table (the harness' paper-style output)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(row, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(cells[0]))
+    out.append(line(["-" * w for w in widths]))
+    for row in cells[1:]:
+        out.append(line(row))
+    return "\n".join(out)

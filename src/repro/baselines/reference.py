@@ -1,0 +1,285 @@
+"""Golden reference interpreter.
+
+A deliberately simple, obviously-correct AST interpreter for one stimulus.
+It is slow (it walks expression trees per cycle) but defines the semantics
+every other engine must match; the differential test suite compares the
+RTLflow batch kernels, the Verilator-like baseline and the ESSENT-like
+baseline against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.elaborate.symexec import LoweredDesign
+from repro.rtlir.graph import NodeKind, RtlGraph
+from repro.utils import bitvec as bv
+from repro.utils.errors import SimulationError
+from repro.verilog import ast_nodes as A
+
+_MOD64 = 1 << 64
+
+
+def eval_expr(
+    e: A.Expr,
+    state: Mapping[str, int],
+    mems: Mapping[str, List[int]],
+    widths: Mapping[str, int],
+) -> int:
+    """Evaluate an annotated expression against scalar state.
+
+    This function is the single-stimulus semantics of the package; the
+    vectorized code generator mirrors it op for op.
+    """
+    if isinstance(e, A.Number):
+        return e.value
+    if isinstance(e, A.Ident):
+        return state[e.name]
+    if isinstance(e, A.Unary):
+        if e.op in ("&", "|", "^", "~&", "~|", "~^"):
+            v = eval_expr(e.operand, state, mems, widths)
+            w = e.operand.width
+            if e.op == "&":
+                return bv.s_red_and(v, w)
+            if e.op == "|":
+                return bv.s_red_or(v, w)
+            if e.op == "^":
+                return bv.s_red_xor(v, w)
+            if e.op == "~&":
+                return 1 - bv.s_red_and(v, w)
+            if e.op == "~|":
+                return 1 - bv.s_red_or(v, w)
+            return 1 - bv.s_red_xor(v, w)
+        v = eval_expr(e.operand, state, mems, widths)
+        if e.op == "!":
+            return 0 if v else 1
+        m = bv.mask(e.ctx_width)
+        if e.op == "~":
+            return (~v) & m
+        if e.op == "-":
+            return (-v) & m
+        return v  # unary +
+    if isinstance(e, A.Binary):
+        op = e.op
+        if op == "&&":
+            l = eval_expr(e.left, state, mems, widths)
+            return 1 if (l and eval_expr(e.right, state, mems, widths)) else 0
+        if op == "||":
+            l = eval_expr(e.left, state, mems, widths)
+            return 1 if (l or eval_expr(e.right, state, mems, widths)) else 0
+        l = eval_expr(e.left, state, mems, widths)
+        r = eval_expr(e.right, state, mems, widths)
+        m = bv.mask(e.ctx_width)
+        if op == "+":
+            return (l + r) & m
+        if op == "-":
+            return (l - r) & m
+        if op == "*":
+            return (l * r) & m
+        if op == "/":
+            return bv.s_div(l, r)
+        if op == "%":
+            return bv.s_mod(l, r)
+        if op == "**":
+            return pow(l, r, m + 1)
+        if op in ("<<", "<<<"):
+            # Shift amounts at or beyond the context width flush to zero
+            # (works for wide contexts too, unlike a fixed 64-bit cap).
+            return 0 if r >= e.ctx_width else (l << r) & m
+        if op in (">>", ">>>"):
+            return 0 if r >= e.ctx_width else l >> r
+        if op == "&":
+            return l & r
+        if op == "|":
+            return l | r
+        if op == "^":
+            return l ^ r
+        if op in ("~^", "^~"):
+            return (~(l ^ r)) & m
+        if op in ("==", "==="):
+            return 1 if l == r else 0
+        if op in ("!=", "!=="):
+            return 1 if l != r else 0
+        if op == "<":
+            return 1 if l < r else 0
+        if op == "<=":
+            return 1 if l <= r else 0
+        if op == ">":
+            return 1 if l > r else 0
+        if op == ">=":
+            return 1 if l >= r else 0
+        raise SimulationError(f"unknown binary op {op!r}")
+    if isinstance(e, A.Ternary):
+        c = eval_expr(e.cond, state, mems, widths)
+        return eval_expr(e.then if c else e.other, state, mems, widths)
+    if isinstance(e, A.Concat):
+        # Parts are canonical, so the result is bounded by the concat's
+        # self-determined width (<= MAX_TOTAL_WIDTH); no modulo needed.
+        acc = 0
+        for p in e.parts:
+            acc = (acc << p.width) | eval_expr(p, state, mems, widths)
+        return acc
+    if isinstance(e, A.Repeat):
+        count = getattr(e, "_count_i")
+        v = eval_expr(e.value, state, mems, widths)
+        w = e.value.width
+        acc = 0
+        for _ in range(count):
+            acc = (acc << w) | v
+        return acc
+    if isinstance(e, A.Index):
+        idx = eval_expr(e.index, state, mems, widths)
+        if e.is_memory:
+            store = mems[e.base]
+            return store[idx] if idx < len(store) else 0
+        return (state[e.base] >> idx) & 1 if idx < widths[e.base] else 0
+    if isinstance(e, A.PartSelect):
+        lsb = getattr(e, "_lsb_i")
+        return (state[e.base] >> lsb) & bv.mask(e.width)
+    if isinstance(e, A.IndexedPartSelect):
+        w = getattr(e, "_width_i")
+        pos = eval_expr(e.start, state, mems, widths)
+        if e.descending:
+            pos -= w - 1
+        sig_lsb = getattr(e, "_base_lsb_i", 0)
+        pos -= sig_lsb
+        if pos < 0 or pos >= widths[e.base]:
+            return 0
+        return (state[e.base] >> pos) & bv.mask(w)
+    raise SimulationError(f"cannot evaluate {type(e).__name__}")
+
+
+class ReferenceSimulator:
+    """Cycle-accurate golden model for a single stimulus.
+
+    Usage mirrors the paper's Listing 1::
+
+        sim = ReferenceSimulator(graph)
+        for c in range(cycles):
+            sim.set_inputs({"in": stim[c]})
+            sim.set_clock(0); sim.evaluate()
+            sim.set_clock(1); sim.evaluate()
+    """
+
+    def __init__(self, graph: RtlGraph, clock: Optional[str] = None):
+        self.graph = graph
+        self.design: LoweredDesign = graph.design
+        self.widths = {s.name: s.width for s in self.design.signals.values()}
+        self.state: Dict[str, int] = {name: 0 for name in self.design.signals}
+        self.mems: Dict[str, List[int]] = {
+            m.name: [0] * m.depth for m in self.design.memories.values()
+        }
+        self._prev_clock: Dict[str, int] = {c: 0 for c in self.design.clocks()}
+        self.clock = clock or self._default_clock()
+        self._input_names = {s.name for s in self.design.inputs}
+
+    def _default_clock(self) -> Optional[str]:
+        clocks = self.design.clocks()
+        return clocks[0] if clocks else None
+
+    # -- state access ---------------------------------------------------------
+
+    def set_input(self, name: str, value: int) -> None:
+        if name not in self._input_names:
+            raise SimulationError(f"{name!r} is not an input of {self.design.top!r}")
+        self.state[name] = value & bv.mask(self.widths[name])
+
+    def set_inputs(self, values: Mapping[str, int]) -> None:
+        for k, v in values.items():
+            self.set_input(k, v)
+
+    def get(self, name: str) -> int:
+        if name in self.state:
+            return self.state[name]
+        raise SimulationError(f"unknown signal {name!r}")
+
+    def load_memory(self, name: str, values: Sequence[int]) -> None:
+        if name not in self.mems:
+            raise SimulationError(f"unknown memory {name!r}")
+        mem = self.mems[name]
+        w = self.design.memories[name].width
+        for i, v in enumerate(values):
+            if i >= len(mem):
+                break
+            mem[i] = v & bv.mask(w)
+
+    def set_clock(self, value: int) -> None:
+        if self.clock is None:
+            return
+        self.state[self.clock] = value & 1
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(self) -> None:
+        """One full-cycle evaluation: clock-edge state updates, then comb."""
+        design = self.design
+        state = self.state
+
+        # Determine which clock domains see an edge this evaluation.
+        triggered = []
+        for blk in design.seq:
+            prev = self._prev_clock.get(blk.clock, 0)
+            now = state.get(blk.clock, 0) & 1
+            if blk.edge == "posedge" and prev == 0 and now == 1:
+                triggered.append(blk)
+            elif blk.edge == "negedge" and prev == 1 and now == 0:
+                triggered.append(blk)
+
+        if triggered:
+            # Non-blocking semantics: compute every next value from the
+            # pre-edge state, then commit all at once.
+            next_vals: Dict[str, int] = {}
+            mem_ops: List = []
+            for blk in triggered:
+                for upd in blk.updates:
+                    v = eval_expr(upd.expr, state, self.mems, self.widths)
+                    next_vals[upd.target] = v & bv.mask(self.widths[upd.target])
+                for mw in blk.mem_writes:
+                    cond = eval_expr(mw.cond, state, self.mems, self.widths)
+                    if cond:
+                        addr = eval_expr(mw.addr, state, self.mems, self.widths)
+                        data = eval_expr(mw.data, state, self.mems, self.widths)
+                        mem_ops.append((mw.mem, addr, data))
+            state.update(next_vals)
+            for mem, addr, data in mem_ops:
+                store = self.mems[mem]
+                if addr < len(store):
+                    store[addr] = data & bv.mask(self.design.memories[mem].width)
+
+        # Straight-line comb settle (graph is acyclic and levelized).
+        for nid in self.graph.comb_order:
+            node = self.graph.nodes[nid]
+            v = eval_expr(node.expr, state, self.mems, self.widths)
+            state[node.target] = v & bv.mask(self.widths[node.target])
+
+        for c in self._prev_clock:
+            self._prev_clock[c] = state.get(c, 0) & 1
+
+    def cycle(self, inputs: Optional[Mapping[str, int]] = None) -> None:
+        """Simulate one clock cycle (Listing 1's loop body)."""
+        if inputs:
+            self.set_inputs(inputs)
+        self.set_clock(0)
+        self.evaluate()
+        self.set_clock(1)
+        self.evaluate()
+
+    def run(
+        self,
+        stimulus: Sequence[Mapping[str, int]],
+        watch: Optional[Iterable[str]] = None,
+    ) -> Dict[str, List[int]]:
+        """Run one stimulus (a list of per-cycle input maps).
+
+        Returns per-cycle traces of ``watch`` signals (default: outputs),
+        sampled after each full cycle.
+        """
+        names = list(watch) if watch is not None else [
+            s.name for s in self.design.outputs
+        ]
+        traces: Dict[str, List[int]] = {n: [] for n in names}
+        for step in stimulus:
+            self.cycle(step)
+            for n in names:
+                traces[n].append(self.get(n))
+        return traces

@@ -1,0 +1,220 @@
+"""Verilator-like CPU baseline (§2.1, §4.1).
+
+Full-cycle, compiled, single-stimulus simulation plus the de-facto batch
+strategy the paper describes: "fork multiple Verilator processes and run
+independent stimulus in parallel".  The ``workers`` knob plays the role of
+the CPU-thread count axis in Fig. 12/13 (each worker simulates its chunk
+of the batch start to finish).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import os
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.scalargen import ScalarModelSpec, generate_scalar_model
+from repro.rtlir.graph import RtlGraph
+from repro.stimulus.batch import StimulusBatch
+from repro.utils import bitvec as bv
+from repro.utils.errors import SimulationError
+
+
+class VerilatorSim:
+    """One compiled scalar simulator instance (one stimulus)."""
+
+    def __init__(self, spec: ScalarModelSpec, namespace: Optional[dict] = None):
+        self.spec = spec
+        if namespace is None:
+            namespace = {}
+            exec(compile(spec.source, f"<verilator:{spec.top}>", "exec"), namespace)
+        self.ns = namespace
+        self._comb = namespace["comb_all"]
+        self._seq = [namespace[f"seq_all_{k}"] for k in range(len(spec.domains))]
+        self.S: List[int] = [0] * spec.n_slots
+        self.M: List[List[int]] = [[0] * d for d in spec.mem_depths]
+        self._prev_clock: Dict[str, int] = {c: 0 for c, _ in spec.domains if c}
+        self._input_set = set(spec.input_names)
+
+    # -- state ------------------------------------------------------------------
+
+    def set_input(self, name: str, value: int) -> None:
+        if name not in self._input_set:
+            raise SimulationError(f"{name!r} is not an input")
+        self.S[self.spec.slot_of[name]] = value & bv.mask(self.spec.widths[name])
+
+    def get(self, name: str) -> int:
+        return self.S[self.spec.slot_of[name]]
+
+    def load_memory(self, name: str, values: Sequence[int]) -> None:
+        mi = self.spec.mem_index[name]
+        m = bv.mask(self.spec.mem_widths[mi])
+        mem = self.M[mi]
+        for i, v in enumerate(values):
+            if i >= len(mem):
+                break
+            mem[i] = int(v) & m
+
+    def set_clock(self, value: int) -> None:
+        if self.spec.clock is not None:
+            self.S[self.spec.slot_of[self.spec.clock]] = value & 1
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate(self) -> None:
+        S = self.S
+        spec = self.spec
+        fired = []
+        for k, (clock, edge) in enumerate(spec.domains):
+            prev = self._prev_clock.get(clock, 0)
+            now = S[spec.slot_of[clock]] & 1 if clock else 0
+            if (edge == "posedge" and prev == 0 and now == 1) or (
+                edge == "negedge" and prev == 1 and now == 0
+            ):
+                fired.append(k)
+        if len(fired) == 1:
+            # Fast path: the fused compute+commit function.
+            self._seq[fired[0]](S, self.M)
+        elif fired:
+            # Simultaneous edges on several domains: non-blocking semantics
+            # require computing every domain's next state from the pre-edge
+            # state before committing any of them; use the per-node fns.
+            ns = self.ns
+            pending = []
+            writes = []
+            for k in fired:
+                for nid in spec.seq_nodes_by_domain[k]:
+                    pending.append((spec.node_target_slot[nid],
+                                    ns[f"s{nid}"](S, self.M)))
+                for nid in spec.memw_nodes_by_domain[k]:
+                    writes.append((nid, ns[f"w{nid}"](S, self.M)))
+            for slot, value in pending:
+                S[slot] = value
+            for nid, (cond, addr, data) in writes:
+                mi = spec.node_mem_index[nid]
+                if cond and addr < spec.mem_depths[mi]:
+                    self.M[mi][addr] = data
+        self._comb(S, self.M)
+        for clock in self._prev_clock:
+            self._prev_clock[clock] = S[spec.slot_of[clock]] & 1
+
+    def cycle(self, inputs: Optional[Mapping[str, int]] = None) -> None:
+        if inputs:
+            for k, v in inputs.items():
+                self.set_input(k, v)
+        self.set_clock(0)
+        self.evaluate()
+        self.set_clock(1)
+        self.evaluate()
+
+    def run(
+        self,
+        stimulus: Sequence[Mapping[str, int]],
+        watch: Optional[Sequence[str]] = None,
+    ) -> Dict[str, List[int]]:
+        names = list(watch) if watch is not None else list(self.spec.output_names)
+        traces: Dict[str, List[int]] = {n: [] for n in names}
+        for step in stimulus:
+            self.cycle(step)
+            for n in names:
+                traces[n].append(self.get(n))
+        return traces
+
+
+# ---------------------------------------------------------------------------
+# Batch runner: fork K workers over N stimulus
+# ---------------------------------------------------------------------------
+
+_WORKER_SPEC: Optional[ScalarModelSpec] = None
+_WORKER_NS: Optional[dict] = None
+
+
+def _worker_init(spec: ScalarModelSpec) -> None:
+    global _WORKER_SPEC, _WORKER_NS
+    _WORKER_SPEC = spec
+    _WORKER_NS = {}
+    exec(compile(spec.source, f"<verilator:{spec.top}>", "exec"), _WORKER_NS)
+
+
+def _worker_run_chunk(args) -> Dict[str, np.ndarray]:
+    lanes, cycles, input_names, stim_arrays, watch, memories = args
+    assert _WORKER_SPEC is not None and _WORKER_NS is not None
+    out = {w: np.zeros(len(lanes), dtype=np.uint64) for w in watch}
+    for j, _ in enumerate(lanes):
+        sim = VerilatorSim(_WORKER_SPEC, dict(_WORKER_NS))
+        if memories:
+            for name, vals in memories.items():
+                sim.load_memory(name, vals)
+        for c in range(cycles):
+            sim.cycle(
+                {name: int(stim_arrays[k][c, j]) for k, name in enumerate(input_names)}
+            )
+        for w in watch:
+            out[w][j] = sim.get(w)
+    return out
+
+
+class VerilatorBatchRunner:
+    """Runs a batch of stimulus across worker processes.
+
+    ``workers=1`` runs in-process (no fork overhead); larger counts fork a
+    pool, each worker compiling the generated source once and simulating
+    its lane chunk start to finish — the multi-process organization §2.3
+    describes as the de-facto standard.
+    """
+
+    def __init__(self, graph: RtlGraph, workers: int = 1):
+        self.graph = graph
+        self.spec = generate_scalar_model(graph)
+        self.workers = max(1, workers)
+
+    def run(
+        self,
+        stim: StimulusBatch,
+        watch: Optional[Sequence[str]] = None,
+        memories: Optional[Mapping[str, Sequence[int]]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Simulate all lanes; returns final values of watched signals."""
+        names = list(watch) if watch is not None else list(self.spec.output_names)
+        input_names = stim.names
+        n = stim.n
+        if self.workers == 1:
+            _worker_init(self.spec)
+            arrays = tuple(stim.data[k] for k in input_names)
+            return _worker_run_chunk(
+                (list(range(n)), stim.cycles, input_names, arrays, names, memories)
+            )
+
+        chunks: List[List[int]] = []
+        per = (n + self.workers - 1) // self.workers
+        for lo in range(0, n, per):
+            chunks.append(list(range(lo, min(lo + per, n))))
+
+        jobs = []
+        for lanes in chunks:
+            arrays = tuple(
+                np.ascontiguousarray(stim.data[k][:, lanes[0] : lanes[-1] + 1])
+                for k in input_names
+            )
+            jobs.append((lanes, stim.cycles, input_names, arrays, names, memories))
+
+        out = {w: np.zeros(n, dtype=np.uint64) for w in names}
+        ctx = None
+        try:
+            import multiprocessing as mp
+
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            pass
+        with cf.ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_worker_init,
+            initargs=(self.spec,),
+            mp_context=ctx,
+        ) as pool:
+            for lanes, result in zip(chunks, pool.map(_worker_run_chunk, jobs)):
+                for w in names:
+                    out[w][lanes[0] : lanes[-1] + 1] = result[w]
+        return out

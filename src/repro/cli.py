@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+stats      Parse + elaborate a design and print RTL graph statistics.
+transpile  Emit the generated batch-kernel module (and optionally the
+           Verilator-style scalar module) to files.
+simulate   Run a batch simulation from stimulus files (or random stimulus)
+           and print final outputs / write a VCD for one lane.
+coverage   Run random stimulus and report toggle coverage.
+designs    List the bundled benchmark designs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro import RTLFlow
+from repro.analysis.metrics import code_metrics
+from repro.analysis.report import format_table
+from repro.coverage.collector import CoverageCollector
+from repro.stimulus.batch import StimulusBatch
+from repro.utils.errors import ReproError
+
+
+def _load_flow(args) -> RTLFlow:
+    return RTLFlow.from_files(args.sources, args.top)
+
+
+def cmd_stats(args) -> int:
+    flow = _load_flow(args)
+    stats = flow.graph.stats()
+    rows = [[k, v] for k, v in stats.items()]
+    print(format_table(["metric", "value"], rows,
+                       title=f"RTL graph statistics: {args.top}"))
+    tg = flow.taskgraph()
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [[k, round(v, 2) if isinstance(v, float) else v]
+         for k, v in tg.stats().items()],
+        title="default task graph",
+    ))
+    return 0
+
+
+def cmd_transpile(args) -> int:
+    flow = _load_flow(args)
+    model = flow.compile(target_weight=args.target_weight)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        fh.write(model.source)
+    m = code_metrics(model.source, model.transpile_seconds)
+    print(f"wrote {args.output}: {m.loc} LOC, {m.tokens} tokens, "
+          f"{len(model.task_fns)} kernels, "
+          f"transpiled in {model.transpile_seconds * 1000:.0f} ms")
+    if args.scalar_output:
+        from repro.baselines.scalargen import generate_scalar_model
+
+        spec = generate_scalar_model(flow.graph)
+        with open(args.scalar_output, "w", encoding="utf-8") as fh:
+            fh.write(spec.source)
+        print(f"wrote {args.scalar_output} (Verilator-style scalar module)")
+    return 0
+
+
+def _make_stimulus(flow: RTLFlow, args) -> StimulusBatch:
+    if args.stimulus:
+        texts = []
+        for path in args.stimulus:
+            with open(path, "r", encoding="utf-8") as fh:
+                texts.append(fh.read())
+        batch = StimulusBatch.from_texts(texts)
+        if batch.n != args.batch:
+            print(
+                f"note: batch size {args.batch} ignored; "
+                f"{batch.n} stimulus files supplied",
+                file=sys.stderr,
+            )
+        return batch
+    return flow.random_stimulus(args.batch, args.cycles, seed=args.seed)
+
+
+def _apply_loads(flow: RTLFlow, sim, loads) -> None:
+    from repro.stimulus.memimage import read_hex_image
+
+    for spec in loads or ():
+        if "=" not in spec:
+            raise ReproError(f"--load expects NAME=FILE, got {spec!r}")
+        name, path = spec.split("=", 1)
+        mem = flow.design.memories.get(name)
+        if mem is None:
+            known = ", ".join(flow.design.memories) or "(none)"
+            raise ReproError(f"no memory {name!r}; design has: {known}")
+        sim.load_memory(name, read_hex_image(path, depth=mem.depth))
+
+
+def cmd_simulate(args) -> int:
+    flow = _load_flow(args)
+    stim = _make_stimulus(flow, args)
+    sim = flow.simulator(n=stim.n, executor=args.executor)
+    _apply_loads(flow, sim, args.load)
+    outs = sim.run(stim, cycles=args.cycles)
+    rows = []
+    for name, values in outs.items():
+        preview = " ".join(format(int(v), "x") for v in values[:8])
+        more = " ..." if stim.n > 8 else ""
+        rows.append([name, f"{preview}{more}"])
+    print(format_table(
+        ["output", "final values (hex, first lanes)"], rows,
+        title=f"{args.top}: {stim.n} stimulus x {args.cycles} cycles",
+    ))
+    if args.vcd is not None:
+        from repro.waveform.vcd import dump_vcd
+
+        sim2 = flow.simulator(n=stim.n, executor=args.executor)
+        _apply_loads(flow, sim2, args.load)
+        dump_vcd(args.vcd, sim2, stim, lane=args.vcd_lane, cycles=args.cycles)
+        print(f"wrote {args.vcd} (lane {args.vcd_lane})")
+    return 0
+
+
+def cmd_coverage(args) -> int:
+    flow = _load_flow(args)
+    stim = _make_stimulus(flow, args)
+    sim = flow.simulator(n=stim.n)
+    _apply_loads(flow, sim, args.load)
+    cov = CoverageCollector(sim, include_internal=not args.ports_only)
+    report = cov.run(stim, cycles=args.cycles)
+    print(report.summary())
+    missing = report.uncovered()
+    if missing:
+        shown = missing if args.all_uncovered else missing[:20]
+        print(f"uncovered points ({len(missing)} total):")
+        for point in shown:
+            print(f"  {point}")
+        if not args.all_uncovered and len(missing) > 20:
+            print("  ... (--all-uncovered to list every point)")
+    return 0 if report.percent >= args.threshold else 1
+
+
+def cmd_designs(args) -> int:
+    from repro.designs import get_design, list_designs
+
+    rows = []
+    for name in list_designs():
+        b = get_design(name)
+        rows.append([name, b.top, len(b.source.splitlines()), ", ".join(b.watch[:3])])
+    print(format_table(["name", "top module", "verilog lines", "key outputs"],
+                       rows, title="bundled designs"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    def add_design_args(p):
+        p.add_argument("sources", nargs="+", help="Verilog source files")
+        p.add_argument("--top", required=True, help="top module name")
+
+    def add_stim_args(p):
+        p.add_argument("--batch", "-n", type=int, default=256,
+                       help="number of stimulus (random mode)")
+        p.add_argument("--cycles", "-c", type=int, default=1000)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--stimulus", nargs="*", default=None,
+                       help="stimulus files (one per lane) instead of random")
+        p.add_argument("--load", action="append", default=[],
+                       metavar="MEM=FILE.hex",
+                       help="preload a memory from a $readmemh file "
+                            "(repeatable)")
+
+    p = sub.add_parser("stats", help="print RTL graph statistics")
+    add_design_args(p)
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("transpile", help="emit the batch kernel module")
+    add_design_args(p)
+    p.add_argument("--output", "-o", default="rtlflow_kernels.py")
+    p.add_argument("--scalar-output", default=None,
+                   help="also emit the Verilator-style scalar module")
+    p.add_argument("--target-weight", type=float, default=64.0)
+    p.set_defaults(fn=cmd_transpile)
+
+    p = sub.add_parser("simulate", help="run a batch simulation")
+    add_design_args(p)
+    add_stim_args(p)
+    p.add_argument("--executor", choices=["graph", "graph-fused", "stream"],
+                   default="graph")
+    p.add_argument("--vcd", default=None, help="dump one lane's VCD here")
+    p.add_argument("--vcd-lane", type=int, default=0)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("coverage", help="toggle-coverage a random campaign")
+    add_design_args(p)
+    add_stim_args(p)
+    p.add_argument("--ports-only", action="store_true")
+    p.add_argument("--all-uncovered", action="store_true")
+    p.add_argument("--threshold", type=float, default=0.0,
+                   help="exit nonzero below this coverage percent")
+    p.set_defaults(fn=cmd_coverage)
+
+    p = sub.add_parser("designs", help="list bundled designs")
+    p.set_defaults(fn=cmd_designs)
+    return ap
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

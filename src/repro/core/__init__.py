@@ -1,0 +1,24 @@
+"""RTLflow core — the paper's primary contribution.
+
+Kernel code transpilation (§3.1): AST annotation, incremental GPU memory
+allocation, GPU memory index mapping, and batch-kernel code generation;
+plus the end-to-end flow object and the batch simulator (§3.2 executors
+live in :mod:`repro.gpu` and :mod:`repro.pipeline`).
+"""
+
+from repro.core.memory import MemoryLayout, VarSlot, MemSlot, DeviceArrays
+from repro.core.codegen import KernelCodegen, CompiledModel, transpile
+from repro.core.simulator import BatchSimulator
+from repro.core.flow import RTLFlow
+
+__all__ = [
+    "MemoryLayout",
+    "VarSlot",
+    "MemSlot",
+    "DeviceArrays",
+    "KernelCodegen",
+    "CompiledModel",
+    "transpile",
+    "BatchSimulator",
+    "RTLFlow",
+]

@@ -1,0 +1,547 @@
+"""Batch kernel code generation.
+
+Transpiles the partitioned RTL task graph into vectorized Python source
+(the CUDA analog), compiles it with :func:`compile`, and returns a
+:class:`CompiledModel` holding the kernel callables plus everything the
+executors need.
+
+Each macro task becomes one generated function
+
+.. code-block:: python
+
+    # __global__ task_3  (2 nodes, weight 17)
+    def task_3(P8, P16, P32, P64, N, LANE):
+        # c1.in = 10'h1 + c1.sum;    offset of c1.in is 1 (P8)
+        P8[1*N:2*N] = ((u64(1) + P16[17*N:18*N].astype(u64, copy=False))
+                       & u64(0xff))
+
+mirroring Listing 3: every access is a contiguous batch slice at
+``offset*N``, all arithmetic is uint64 with context-width masking, and the
+semantics match :func:`repro.baselines.reference.eval_expr` op for op
+(the differential test suite enforces this).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import kernels as rt
+from repro.core.annotate import annotate_tasks, render_header
+from repro.core.indexmap import IndexMapper
+from repro.core.memory import MemoryLayout
+from repro.partition.merge import partition
+from repro.partition.taskgraph import TaskGraph
+from repro.partition.weights import WeightVector
+from repro.rtlir.graph import NodeKind, RtlGraph, RtlNode
+from repro.utils import bitvec as bv
+from repro.utils.errors import SimulationError, UnsupportedFeatureError
+from repro.verilog import ast_nodes as A
+
+_CMP = {"==": "==", "===": "==", "!=": "!=", "!==": "!=",
+        "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def _limbs(width: int) -> int:
+    """Representation limb count: 1 for <=64 bits, else ceil(width/64)."""
+    return 1 if width <= 64 else (width + 63) // 64
+
+
+class ExprCodegen:
+    """Expression-to-source translation (uint64 compute, ctx masking).
+
+    Representation rule: an emitted expression is a (N,) uint64 array when
+    its context width fits one limb, and a (L, N) little-endian limb
+    matrix otherwise (L = ceil(ctx/64)); the wide ops live in
+    :mod:`repro.utils.widevec` (Verilator's VL_WIDE analog).
+    """
+
+    def __init__(self, mapper: IndexMapper, graph: RtlGraph):
+        self.mapper = mapper
+        self.graph = graph
+        self.design = graph.design
+
+    # -- public entry points -------------------------------------------------
+
+    def emit(self, e: A.Expr) -> str:
+        """Emit ``e`` at its context representation."""
+        code, limbs = self._value(e)
+        want = _limbs(e.ctx_width)
+        if want == limbs:
+            return code
+        if want > 1:
+            return f"wv.extend({code}, {want}, N)"
+        raise SimulationError(  # pragma: no cover - ctx >= width by pass
+            f"cannot narrow a wide value to ctx {e.ctx_width}"
+        )
+
+    def emit_bool(self, e: A.Expr) -> str:
+        """(N,) truthiness of ``e`` (for conditions/guards)."""
+        code, limbs = self._value(e)
+        return code if limbs == 1 else f"wv.nonzero({code})"
+
+    def emit_amount(self, e: A.Expr) -> str:
+        """(N,) shift/address amount; wide amounts saturate."""
+        code, limbs = self._value(e)
+        return code if limbs == 1 else f"wv.saturate_narrow({code})"
+
+    def emit_narrow(self, e: A.Expr) -> str:
+        """(N,) low-64-bit value of ``e`` (for <=64-bit stores)."""
+        code = self.emit(e)
+        return code if _limbs(e.ctx_width) == 1 else f"wv.narrow({code})"
+
+    # -- dispatch (returns (code, repr_limbs)) ----------------------------------
+
+    def _value(self, e: A.Expr):
+        if isinstance(e, A.Number):
+            L = _limbs(e.ctx_width)
+            if L == 1:
+                return f"u64({e.value & ((1 << 64) - 1)})", 1
+            return f"wv.from_const({e.value}, {L}, N)", L
+        if isinstance(e, A.Ident):
+            return self._load(e.name)
+        if isinstance(e, A.Unary):
+            return self._unary(e)
+        if isinstance(e, A.Binary):
+            return self._binary(e)
+        if isinstance(e, A.Ternary):
+            c = self.emit_bool(e.cond)
+            t = self.emit(e.then)
+            f = self.emit(e.other)
+            L = _limbs(e.ctx_width)
+            if L == 1:
+                return f"np.where(({c}) != 0, {t}, {f})", 1
+            return f"wv.mux({c}, {t}, {f})", L
+        if isinstance(e, A.Concat):
+            return self._concat([(p, p.width) for p in e.parts], e.width)
+        if isinstance(e, A.Repeat):
+            count = getattr(e, "_count_i")
+            return self._concat(
+                [(e.value, e.value.width)] * count, e.width
+            )
+        if isinstance(e, A.Index):
+            idx = self.emit_amount(e.index)
+            if e.is_memory:
+                return self.mapper.mem_read_call(e.base, idx), 1
+            base, base_limbs = self._load(e.base)
+            if base_limbs == 1:
+                return f"(bvb.b_shr({base}, {idx}) & u64(1))", 1
+            return f"(wv.narrow(wv.shr({base}, {idx})) & u64(1))", 1
+        if isinstance(e, A.PartSelect):
+            lsb = getattr(e, "_lsb_i")
+            m = bv.mask(e.width)
+            base, base_limbs = self._load(e.base)
+            if base_limbs == 1:
+                if lsb == 0:
+                    return f"(({base}) & u64({m}))", 1
+                return f"((({base}) >> u64({lsb})) & u64({m}))", 1
+            inner = f"wv.shr_const({base}, {lsb})" if lsb else base
+            if e.width <= 64:
+                return f"(wv.narrow({inner}) & u64({m}))", 1
+            L = _limbs(e.width)
+            return f"wv.mask_width({inner}, {e.width})", L
+        if isinstance(e, A.IndexedPartSelect):
+            w = getattr(e, "_width_i")
+            sig_lsb = getattr(e, "_base_lsb_i", 0)
+            m = bv.mask(min(w, 64)) if w <= 64 else bv.mask(w)
+            start = self.emit_amount(e.start)
+            shift_back = (w - 1 if e.descending else 0) + sig_lsb
+            pos = f"(({start}) - u64({shift_back}))" if shift_back else f"({start})"
+            base, base_limbs = self._load(e.base)
+            if base_limbs == 1:
+                return f"(bvb.b_shr({base}, {pos}) & u64({m}))", 1
+            inner = f"wv.shr({base}, {pos})"
+            if w <= 64:
+                return f"(wv.narrow({inner}) & u64({m}))", 1
+            return f"wv.mask_width({inner}, {w})", _limbs(w)
+        raise SimulationError(f"cannot generate code for {type(e).__name__}")
+
+    def _load(self, name: str):
+        slot = self.mapper.layout.slot(name)
+        if slot.limbs == 1:
+            return self.mapper.load(name), 1
+        lo, hi = slot.offset, slot.offset + slot.limbs
+        return f"P64[{lo}*N:{hi}*N].reshape({slot.limbs}, N)", slot.limbs
+
+    def _concat(self, parts, total_width: int):
+        """Concat/replicate ``parts`` (MSB first) into ``total_width`` bits."""
+        L = _limbs(total_width)
+        if L == 1:
+            acc = self.emit(parts[0][0])
+            for p, w in parts[1:]:
+                acc = f"((({acc}) << u64({w})) | ({self.emit(p)}))"
+            return acc, 1
+        def as_limbs(p: A.Expr) -> str:
+            # Constants become limb matrices directly (a scalar u64 has no
+            # lane axis for extend to replicate).
+            if isinstance(p, A.Number):
+                return f"wv.from_const({p.value}, {L}, N)"
+            pc, _ = self._value(p)
+            return f"wv.extend({pc}, {L}, N)"
+
+        acc = as_limbs(parts[0][0])
+        for p, w in parts[1:]:
+            acc = f"(wv.shl_const({acc}, {w}) | {as_limbs(p)})"
+        return acc, L
+
+    def _unary(self, e: A.Unary):
+        L = _limbs(e.ctx_width)
+        if e.op == "!":
+            return f"(({self.emit_bool(e.operand)}) == 0).astype(u64)", 1
+        if e.op in ("~", "-", "+"):
+            x = self.emit(e.operand)
+            if L == 1:
+                m = bv.mask(min(e.ctx_width, 64))
+                if e.op == "~":
+                    return f"((~({x})) & u64({m}))", 1
+                if e.op == "-":
+                    return f"((u64(0) - ({x})) & u64({m}))", 1
+                return x, 1
+            if e.op == "~":
+                return f"wv.mask_width(wv.bit_not({x}), {e.ctx_width})", L
+            if e.op == "-":
+                return f"wv.mask_width(wv.neg({x}), {e.ctx_width})", L
+            return x, L
+        # Reductions: operand at its self-determined representation.
+        x, xl = self._value(e.operand)
+        w = e.operand.width
+        if xl == 1:
+            table = {
+                "&": f"bvb.b_red_and({x}, {w})",
+                "|": f"bvb.b_red_or({x}, {w})",
+                "^": f"bvb.b_red_xor({x}, {w})",
+                "~&": f"(u64(1) - bvb.b_red_and({x}, {w}))",
+                "~|": f"(u64(1) - bvb.b_red_or({x}, {w}))",
+                "~^": f"(u64(1) - bvb.b_red_xor({x}, {w}))",
+            }
+        else:
+            table = {
+                "&": f"wv.red_and({x}, {w})",
+                "|": f"wv.red_or({x})",
+                "^": f"wv.red_xor({x})",
+                "~&": f"(u64(1) - wv.red_and({x}, {w}))",
+                "~|": f"(u64(1) - wv.red_or({x}))",
+                "~^": f"(u64(1) - wv.red_xor({x}))",
+            }
+        if e.op in table:
+            return table[e.op], 1
+        raise SimulationError(f"unknown unary op {e.op!r}")
+
+    def _binary(self, e: A.Binary):
+        op = e.op
+        L = _limbs(e.ctx_width)
+        if op in _CMP or op in ("&&", "||"):
+            if op == "&&":
+                l = self.emit_bool(e.left)
+                r = self.emit_bool(e.right)
+                return f"(((({l}) != 0) & (({r}) != 0))).astype(u64)", 1
+            if op == "||":
+                l = self.emit_bool(e.left)
+                r = self.emit_bool(e.right)
+                return f"(((({l}) != 0) | (({r}) != 0))).astype(u64)", 1
+            # Comparison operands share a self-determined context.
+            wide = _limbs(e.left.ctx_width) > 1 or _limbs(e.right.ctx_width) > 1
+            l = self.emit(e.left)
+            r = self.emit(e.right)
+            if not wide:
+                return f"(({l}) {_CMP[op]} ({r})).astype(u64)", 1
+            fn = {"==": "eq", "===": "eq", "!=": "ne", "!==": "ne",
+                  "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}[op]
+            return f"wv.{fn}({l}, {r})", 1
+
+        if op in ("<<", "<<<", ">>", ">>>"):
+            l = self.emit(e.left)
+            r = self.emit_amount(e.right)
+            if L == 1:
+                m = bv.mask(min(e.ctx_width, 64))
+                if op in ("<<", "<<<"):
+                    return f"(bvb.b_shl({l}, {r}) & u64({m}))", 1
+                return f"bvb.b_shr({l}, {r})", 1
+            if op in ("<<", "<<<"):
+                return f"wv.mask_width(wv.shl({l}, {r}), {e.ctx_width})", L
+            return f"wv.shr({l}, {r})", L
+
+        l = self.emit(e.left)
+        r = self.emit(e.right)
+        if L == 1:
+            m = bv.mask(min(e.ctx_width, 64))
+            table = {
+                "+": f"((({l}) + ({r})) & u64({m}))",
+                "-": f"((({l}) - ({r})) & u64({m}))",
+                "*": f"((({l}) * ({r})) & u64({m}))",
+                "/": f"bvb.b_div({l}, {r})",
+                "%": f"bvb.b_mod({l}, {r})",
+                "**": f"(bvb.b_pow({l}, {r}) & u64({m}))",
+                "&": f"(({l}) & ({r}))",
+                "|": f"(({l}) | ({r}))",
+                "^": f"(({l}) ^ ({r}))",
+                "~^": f"((~(({l}) ^ ({r}))) & u64({m}))",
+                "^~": f"((~(({l}) ^ ({r}))) & u64({m}))",
+            }
+            if op in table:
+                return table[op], 1
+            raise SimulationError(f"unknown binary op {op!r}")
+        if op in ("*", "/", "%", "**"):
+            raise UnsupportedFeatureError(
+                f"operator {op!r} is not supported on values wider than 64 "
+                f"bits (context width {e.ctx_width})"
+            )
+        table = {
+            "+": f"wv.mask_width(wv.add({l}, {r}), {e.ctx_width})",
+            "-": f"wv.mask_width(wv.sub({l}, {r}), {e.ctx_width})",
+            "&": f"(({l}) & ({r}))",
+            "|": f"(({l}) | ({r}))",
+            "^": f"(({l}) ^ ({r}))",
+            "~^": f"wv.mask_width(wv.bit_not(({l}) ^ ({r})), {e.ctx_width})",
+            "^~": f"wv.mask_width(wv.bit_not(({l}) ^ ({r})), {e.ctx_width})",
+        }
+        if op in table:
+            return table[op], L
+        raise SimulationError(f"unknown binary op {op!r}")
+
+
+@dataclass
+class MemWriteBinding:
+    """Commit-time binding for one guarded memory write."""
+
+    node_id: int
+    clock: str
+    edge: str
+    mem_pool: int
+    mem_base: int
+    mem_depth: int
+    cond_pool: int
+    cond_off: int
+    addr_pool: int
+    addr_off: int
+    data_pool: int
+    data_off: int
+
+
+@dataclass
+class CompiledModel:
+    """A transpiled, compiled multi-stimulus simulator for one design."""
+
+    graph: RtlGraph
+    taskgraph: TaskGraph
+    layout: MemoryLayout
+    source: str
+    namespace: Dict[str, object]
+    task_fns: Dict[int, Callable]
+    fused_comb: Optional[Callable]
+    fused_seq: Dict[Tuple[str, str], Callable]
+    mem_writes: List[MemWriteBinding]
+    transpile_seconds: float = 0.0
+
+    @property
+    def design(self):
+        return self.graph.design
+
+    def comb_schedule(self) -> List[int]:
+        return list(self.taskgraph.comb_topo)
+
+    def seq_schedule(self, clock: str, edge: str) -> List[int]:
+        return [
+            t.tid
+            for t in self.taskgraph.tasks
+            if t.kind is NodeKind.SEQ and t.clock == clock and t.edge == edge
+        ]
+
+    def clock_domains(self) -> List[Tuple[str, str]]:
+        seen: List[Tuple[str, str]] = []
+        for t in self.taskgraph.tasks:
+            if t.kind is NodeKind.SEQ and (t.clock, t.edge) not in seen:
+                seen.append((t.clock, t.edge))
+        return seen
+
+
+class KernelCodegen:
+    """Generates and compiles the batch kernel module for a task graph."""
+
+    def __init__(self, taskgraph: TaskGraph, layout: Optional[MemoryLayout] = None):
+        self.tg = taskgraph
+        self.graph = taskgraph.graph
+        self.layout = layout or MemoryLayout.from_graph(self.graph)
+        self.mapper = IndexMapper(self.layout)
+        self.expr = ExprCodegen(self.mapper, self.graph)
+
+    # -- statement generation ---------------------------------------------------
+
+    def _store(self, target: str, expr: A.Expr, shadow: bool) -> str:
+        """Assignment statement for a full-signal store (COMB/SEQ)."""
+        slot = self.layout.slot(target)
+        if slot.limbs == 1:
+            m = bv.mask(slot.width)
+            return (
+                f"{self.mapper.store_target(target, shadow=shadow)} = "
+                f"({self.expr.emit_narrow(expr)}) & u64({m})"
+            )
+        off = slot.next_offset if shadow else slot.offset
+        lo, hi = off, off + slot.limbs
+        return (
+            f"P64[{lo}*N:{hi}*N] = "
+            f"wv.mask_width({self.expr.emit(expr)}, {slot.width}).reshape(-1)"
+        )
+
+    def _node_stmts(self, node: RtlNode) -> List[str]:
+        out: List[str] = []
+        if node.kind is NodeKind.COMB:
+            out.append(f"# {node.target} = ...;  {self.mapper.comment_for(node.target)}")
+            out.append(self._store(node.target, node.expr, shadow=False))
+        elif node.kind is NodeKind.SEQ:
+            out.append(f"# {node.target} <= ...;  (shadow slot)")
+            out.append(self._store(node.target, node.expr, shadow=True))
+        elif node.kind is NodeKind.MEMW:
+            sc = self.layout.scratch[node.nid]
+            mem = self.graph.design.memories[node.target]
+            m = bv.mask(mem.width)
+            out.append(f"# if (cond) {node.target}[addr] <= data;  (scratch)")
+            out.append(
+                f"{self.mapper.slice_of(sc.cond)} = "
+                f"(({self.expr.emit_bool(node.cond)}) != 0).astype(np.uint8)"
+            )
+            out.append(
+                f"{self.mapper.slice_of(sc.addr)} = "
+                f"{self.expr.emit_amount(node.addr)}"
+            )
+            out.append(
+                f"{self.mapper.slice_of(sc.data)} = "
+                f"({self.expr.emit_narrow(node.expr)}) & u64({m})"
+            )
+        else:  # pragma: no cover
+            raise SimulationError(f"unknown node kind {node.kind}")
+        return out
+
+    def _task_fn(self, tid: int) -> List[str]:
+        task = self.tg.tasks[tid]
+        lines = [
+            f"# __global__ task_{tid} ({task.kind.value}, {len(task.nodes)} "
+            f"nodes, weight {task.weight:.0f})",
+            f"def task_{tid}(P8, P16, P32, P64, N, LANE):",
+        ]
+        for nid in task.nodes:
+            for stmt in self._node_stmts(self.graph.nodes[nid]):
+                lines.append(f"    {stmt}")
+        if not task.nodes:
+            lines.append("    pass")
+        return lines
+
+    def _fused_fn(self, name: str, tids: List[int]) -> List[str]:
+        lines = [
+            f"# fused kernel: {len(tids)} tasks inlined (whole-graph optimization)",
+            f"def {name}(P8, P16, P32, P64, N, LANE):",
+        ]
+        any_stmt = False
+        for tid in tids:
+            for nid in self.tg.tasks[tid].nodes:
+                for stmt in self._node_stmts(self.graph.nodes[nid]):
+                    lines.append(f"    {stmt}")
+                    any_stmt = True
+        if not any_stmt:
+            lines.append("    pass")
+        return lines
+
+    # -- module generation --------------------------------------------------------
+
+    def generate_source(self) -> str:
+        header = [
+            '"""Batch RTL simulation kernels transpiled by repro.core.',
+            "",
+            "Auto-generated; do not edit.  One GPU thread <-> one stimulus:",
+            "the batch axis of every slice is the stimulus axis.",
+            '"""',
+            "import numpy as np",
+            "from repro.core import kernels as rt",
+            "from repro.utils import bitvec as bvb",
+            "from repro.utils import widevec as wv",
+            "",
+            "u64 = np.uint64",
+            "",
+        ]
+        header.extend(render_header(self.tg))
+        body: List[str] = []
+        for task in self.tg.tasks:
+            body.extend(self._task_fn(task.tid))
+            body.append("")
+
+        # Fused variants: the whole comb phase, and each seq domain, as a
+        # single callable (used by the CUDA-Graph-style executor).
+        body.extend(self._fused_fn("comb_fused", list(self.tg.comb_topo)))
+        body.append("")
+        domains: Dict[Tuple[str, str], List[int]] = {}
+        for t in self.tg.tasks:
+            if t.kind is NodeKind.SEQ:
+                domains.setdefault((t.clock, t.edge), []).append(t.tid)
+        self._domains = domains
+        for i, ((clock, edge), tids) in enumerate(domains.items()):
+            body.extend(self._fused_fn(f"seq_fused_{i}", tids))
+            body.append("")
+
+        tasklist = ", ".join(f"task_{t.tid}" for t in self.tg.tasks)
+        body.append(f"TASKS = [{tasklist}]")
+        return "\n".join(header + [""] + body) + "\n"
+
+    def compile(self) -> CompiledModel:
+        t0 = time.perf_counter()
+        source = self.generate_source()
+        code = compile(source, f"<rtlflow:{self.graph.design.top}>", "exec")
+        ns: Dict[str, object] = {}
+        exec(code, ns)
+        elapsed = time.perf_counter() - t0
+
+        task_fns = {t.tid: ns[f"task_{t.tid}"] for t in self.tg.tasks}
+        fused_seq = {
+            dom: ns[f"seq_fused_{i}"]
+            for i, dom in enumerate(self._domains)
+        }
+
+        mem_writes: List[MemWriteBinding] = []
+        for node in self.graph.memw_nodes:  # original program order
+            sc = self.layout.scratch[node.nid]
+            ms = self.layout.mem(node.target)
+            mem_writes.append(
+                MemWriteBinding(
+                    node_id=node.nid,
+                    clock=node.clock or "",
+                    edge=node.edge,
+                    mem_pool=ms.pool,
+                    mem_base=ms.base,
+                    mem_depth=ms.depth,
+                    cond_pool=sc.cond.pool,
+                    cond_off=sc.cond.offset,
+                    addr_pool=sc.addr.pool,
+                    addr_off=sc.addr.offset,
+                    data_pool=sc.data.pool,
+                    data_off=sc.data.offset,
+                )
+            )
+
+        return CompiledModel(
+            graph=self.graph,
+            taskgraph=self.tg,
+            layout=self.layout,
+            source=source,
+            namespace=ns,
+            task_fns=task_fns,
+            fused_comb=ns["comb_fused"],
+            fused_seq=fused_seq,
+            mem_writes=mem_writes,
+            transpile_seconds=elapsed,
+        )
+
+
+def transpile(
+    graph: RtlGraph,
+    weights: Optional[WeightVector] = None,
+    target_weight: float = 64.0,
+    strategy: str = "levelpack",
+    taskgraph: Optional[TaskGraph] = None,
+) -> CompiledModel:
+    """One-call transpilation: partition (unless given) + codegen + compile."""
+    tg = taskgraph or partition(
+        graph, weights=weights, target_weight=target_weight, strategy=strategy
+    )
+    return KernelCodegen(tg).compile()

@@ -1,0 +1,177 @@
+"""The end-to-end RTLflow pipeline (Fig. 3).
+
+``RTLFlow`` chains every stage: preprocess/parse → elaborate (module
+inlining, constant propagation) → lower → RTL graph → partition (default
+weights or MCMC) → kernel codegen → compile, and hands out batch
+simulators and stimulus generators.
+
+Typical use::
+
+    flow = RTLFlow.from_source(verilog_text, top="counter")
+    sim = flow.simulator(n=1024)                    # CUDA-Graph executor
+    stim = flow.random_stimulus(n=1024, cycles=10_000, seed=1)
+    outs = sim.run(stim)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.codegen import CompiledModel, KernelCodegen, transpile
+from repro.core.simulator import BatchSimulator
+from repro.elaborate.elaborator import elaborate
+from repro.elaborate.symexec import LoweredDesign, lower
+from repro.gpu.device import SimulatedDevice
+from repro.partition.mcmc import Estimator, MCMCPartitioner, MCMCResult
+from repro.partition.merge import DEFAULT_TARGET_WEIGHT, partition
+from repro.partition.taskgraph import TaskGraph
+from repro.partition.weights import WeightVector
+from repro.rtlir.build import build_graph
+from repro.rtlir.graph import RtlGraph
+from repro.stimulus.batch import StimulusBatch
+from repro.stimulus.generator import directed_batch, random_batch
+from repro.verilog.parser import parse_source
+
+
+class RTLFlow:
+    """One design, transpiled once, simulated many ways."""
+
+    def __init__(self, graph: RtlGraph):
+        self.graph = graph
+        self._models: Dict[tuple, CompiledModel] = {}
+        self.mcmc_result: Optional[MCMCResult] = None
+        self._mcmc_weights: Optional[WeightVector] = None
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_source(
+        cls,
+        text: str,
+        top: str,
+        defines: Optional[Mapping[str, str]] = None,
+        optimize: bool = True,
+    ) -> "RTLFlow":
+        """Parse + elaborate ``text``.
+
+        ``optimize`` enables the inherited Verilator-style passes (copy
+        propagation, dead-code elimination, inverter pushing); disable it
+        to keep every named signal observable via ``sim.get``.
+        """
+        from repro.elaborate.optimize import optimize_design
+
+        unit = parse_source(text, defines=dict(defines) if defines else None)
+        lowered = lower(elaborate(unit, top))
+        if optimize:
+            lowered = optimize_design(lowered)
+        return cls(build_graph(lowered))
+
+    @classmethod
+    def from_files(
+        cls,
+        paths: Sequence[str],
+        top: str,
+        defines: Optional[Mapping[str, str]] = None,
+        optimize: bool = True,
+    ) -> "RTLFlow":
+        chunks = []
+        for p in paths:
+            with open(p, "r", encoding="utf-8") as fh:
+                chunks.append(fh.read())
+        return cls.from_source("\n".join(chunks), top, defines, optimize)
+
+    @property
+    def design(self) -> LoweredDesign:
+        return self.graph.design
+
+    # -- transpilation -----------------------------------------------------------
+
+    def taskgraph(
+        self,
+        weights: Optional[WeightVector] = None,
+        target_weight: float = DEFAULT_TARGET_WEIGHT,
+        strategy: str = "levelpack",
+        use_mcmc: bool = False,
+    ) -> TaskGraph:
+        if use_mcmc:
+            if weights is not None:
+                raise ValueError("pass either weights or use_mcmc, not both")
+            weights = self.mcmc_weights()
+        return partition(
+            self.graph, weights=weights, target_weight=target_weight, strategy=strategy
+        )
+
+    def compile(
+        self,
+        weights: Optional[WeightVector] = None,
+        target_weight: float = DEFAULT_TARGET_WEIGHT,
+        strategy: str = "levelpack",
+        use_mcmc: bool = False,
+    ) -> CompiledModel:
+        """Transpile + compile (cached per configuration)."""
+        key = (
+            "mcmc" if use_mcmc else (id(weights) if weights is not None else "default"),
+            target_weight,
+            strategy,
+        )
+        if key not in self._models:
+            tg = self.taskgraph(weights, target_weight, strategy, use_mcmc)
+            self._models[key] = KernelCodegen(tg).compile()
+        return self._models[key]
+
+    # -- MCMC partition tuning ------------------------------------------------------
+
+    def optimize_partition(
+        self,
+        n_stimulus: int = 256,
+        cycles: int = 64,
+        max_iter: int = 150,
+        max_unimproved: int = 30,
+        target_weight: float = DEFAULT_TARGET_WEIGHT,
+        seed: int = 0,
+    ) -> MCMCResult:
+        """Run the GPU-aware MCMC sampler and remember the best weights."""
+        est = Estimator(self.graph, n_stimulus=n_stimulus, cycles=cycles, seed=seed)
+        opt = MCMCPartitioner(
+            self.graph,
+            estimator=est,
+            target_weight=target_weight,
+            seed=seed,
+            max_iter=max_iter,
+            max_unimproved=max_unimproved,
+        )
+        self.mcmc_result = opt.optimize()
+        self._mcmc_weights = self.mcmc_result.weights
+        return self.mcmc_result
+
+    def mcmc_weights(self) -> WeightVector:
+        if self._mcmc_weights is None:
+            self.optimize_partition()
+        assert self._mcmc_weights is not None
+        return self._mcmc_weights
+
+    # -- simulation --------------------------------------------------------------
+
+    def simulator(
+        self,
+        n: int,
+        executor: str = "graph",
+        device: Optional[SimulatedDevice] = None,
+        use_mcmc: bool = False,
+        target_weight: float = DEFAULT_TARGET_WEIGHT,
+        strategy: str = "levelpack",
+    ) -> BatchSimulator:
+        model = self.compile(
+            target_weight=target_weight, strategy=strategy, use_mcmc=use_mcmc
+        )
+        return BatchSimulator(model, n, executor=executor, device=device)
+
+    # -- stimulus ----------------------------------------------------------------
+
+    def random_stimulus(self, n: int, cycles: int, seed: int = 0, **kw) -> StimulusBatch:
+        return random_batch(self.design, n, cycles, seed=seed, **kw)
+
+    def directed_stimulus(
+        self, patterns, n: int, cycles: int, seed: int = 0
+    ) -> StimulusBatch:
+        return directed_batch(self.design, patterns, n, cycles, seed=seed)

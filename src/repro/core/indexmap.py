@@ -1,0 +1,52 @@
+"""GPU memory index mapping (§3.1.3).
+
+Maps every variable reference to its pool access string.  With offset
+``o`` and batch size N, variable ``v`` for stimulus ``tid`` lives at
+``pool[o*N + tid]``; the whole batch is the contiguous slice
+``pool[o*N : (o+1)*N]`` — the coalesced-access property of Listing 3
+carried over to the vectorized axis.
+"""
+
+from __future__ import annotations
+
+from repro.core.memory import MemoryLayout, MemSlot, VarSlot
+from repro.utils.errors import SimulationError
+
+POOL_VARS = ("P8", "P16", "P32", "P64")
+
+
+class IndexMapper:
+    """Renders pool accesses for the code generator."""
+
+    def __init__(self, layout: MemoryLayout):
+        self.layout = layout
+
+    def pool_var(self, pool: int) -> str:
+        return POOL_VARS[pool]
+
+    def slice_of(self, slot: VarSlot, shadow: bool = False) -> str:
+        """The writable slice for a variable (optionally its shadow slot)."""
+        off = slot.next_offset if shadow else slot.offset
+        if shadow and slot.next_offset is None:
+            raise SimulationError(f"{slot.name!r} has no shadow slot")
+        return f"{self.pool_var(slot.pool)}[{off}*N:{off + 1}*N]"
+
+    def load(self, name: str) -> str:
+        """A uint64 read of a variable's batch slice."""
+        slot = self.layout.slot(name)
+        return f"{self.slice_of(slot)}.astype(u64, copy=False)"
+
+    def store_target(self, name: str, shadow: bool = False) -> str:
+        return self.slice_of(self.layout.slot(name), shadow=shadow)
+
+    def mem_read_call(self, name: str, idx_code: str) -> str:
+        m = self.layout.mem(name)
+        return (
+            f"rt.mem_read({self.pool_var(m.pool)}, {m.base}, {m.depth}, "
+            f"N, LANE, {idx_code})"
+        )
+
+    def comment_for(self, name: str) -> str:
+        """Listing 3 style offset comment for one variable."""
+        slot = self.layout.slot(name)
+        return f"offset of {name} is {slot.offset} ({POOL_VARS[slot.pool]})"

@@ -1,0 +1,233 @@
+"""The multi-stimulus batch simulator (the runtime of Listing 1, batched).
+
+Drives a :class:`~repro.core.codegen.CompiledModel` over a
+:class:`~repro.core.memory.DeviceArrays` batch through one of the GPU
+executors.  One instance simulates N stimulus simultaneously; the
+stimulus axis is the vectorized numpy axis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core import kernels as rt
+from repro.core.codegen import CompiledModel
+from repro.core.memory import DeviceArrays
+from repro.gpu.device import SimulatedDevice
+from repro.gpu.graphexec import CudaGraphExecutor
+from repro.gpu.stream import StreamExecutor
+from repro.utils import bitvec as bv
+from repro.utils.errors import SimulationError
+from repro.utils.timing import Stopwatch
+
+ArrayLike = Union[int, np.ndarray, Sequence[int]]
+
+
+def make_executor(
+    model: CompiledModel,
+    device: SimulatedDevice,
+    kind: str = "graph",
+    **kwargs,
+):
+    """Executor factory: 'graph' (default), 'graph-fused', or 'stream'."""
+    if kind == "graph":
+        return CudaGraphExecutor(model, device, fused=False)
+    if kind in ("graph-fused", "fused"):
+        return CudaGraphExecutor(model, device, fused=True)
+    if kind == "stream":
+        return StreamExecutor(model, device, **kwargs)
+    raise SimulationError(f"unknown executor kind {kind!r}")
+
+
+class BatchSimulator:
+    """Simulates N stimulus of one design simultaneously."""
+
+    def __init__(
+        self,
+        model: CompiledModel,
+        n: int,
+        executor: Union[str, object] = "graph",
+        device: Optional[SimulatedDevice] = None,
+        clock: Optional[str] = None,
+    ):
+        self.model = model
+        self.n = n
+        self.device = device or SimulatedDevice()
+        self.executor = (
+            make_executor(model, self.device, executor)
+            if isinstance(executor, str)
+            else executor
+        )
+        self.arrays = DeviceArrays(model.layout, n)
+        design = model.design
+        self._input_names = {s.name for s in design.inputs}
+        self._widths = {s.name: s.width for s in design.signals.values()}
+        clocks = design.clocks()
+        self.clock = clock if clock is not None else (clocks[0] if clocks else None)
+        self._prev_clock: Dict[str, int] = {c: 0 for c in clocks}
+        self.stopwatch = Stopwatch()
+        self.cycles_run = 0
+
+    # -- state access -------------------------------------------------------------
+
+    def set_input(self, name: str, values: ArrayLike) -> None:
+        if name not in self._input_names:
+            raise SimulationError(f"{name!r} is not an input of the design")
+        self.arrays.write(name, values)
+
+    def set_inputs(self, values: Mapping[str, ArrayLike]) -> None:
+        for k, v in values.items():
+            self.set_input(k, v)
+
+    def get(self, name: str) -> np.ndarray:
+        """Current batch values of a signal, shape (N,)."""
+        return self.arrays.read(name)
+
+    def load_memory(self, name: str, values, lane: Optional[int] = None) -> None:
+        self.arrays.load_memory(name, values, lane=lane)
+
+    def read_memory(self, name: str, lane: Optional[int] = None) -> np.ndarray:
+        return self.arrays.read_memory(name, lane=lane)
+
+    def set_clock(self, value: int) -> None:
+        if self.clock is None:
+            return
+        self.arrays.write(self.clock, value & 1)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def _triggered_domains(self) -> List[Tuple[str, str]]:
+        out: List[Tuple[str, str]] = []
+        for clock, edge in self.model.clock_domains():
+            prev = self._prev_clock.get(clock, 0)
+            now = int(self.arrays.read(clock)[0]) & 1
+            if edge == "posedge" and prev == 0 and now == 1:
+                out.append((clock, edge))
+            elif edge == "negedge" and prev == 1 and now == 0:
+                out.append((clock, edge))
+        return out
+
+    def _commit(self, domain: Tuple[str, str]) -> None:
+        arrays = self.arrays
+        arrays.commit_registers(domain)
+        n = arrays.n
+        for b in self.model.mem_writes:
+            if (b.clock, b.edge) != domain:
+                continue
+            pools = arrays.pools
+            cond = pools[b.cond_pool][b.cond_off * n : (b.cond_off + 1) * n]
+            addr = pools[b.addr_pool][b.addr_off * n : (b.addr_off + 1) * n]
+            data = pools[b.data_pool][b.data_off * n : (b.data_off + 1) * n]
+            rt.mem_commit(
+                pools[b.mem_pool], b.mem_base, b.mem_depth, n, arrays.lane,
+                cond, addr, data,
+            )
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def save_checkpoint(self) -> dict:
+        """Snapshot the complete simulation state (all lanes).
+
+        The checkpoint is a plain dict of numpy arrays plus clock phase —
+        picklable, so long regressions can be resumed across processes.
+        """
+        return {
+            "pools": self.arrays.snapshot(),
+            "prev_clock": dict(self._prev_clock),
+            "cycles_run": self.cycles_run,
+            "n": self.n,
+        }
+
+    def restore_checkpoint(self, ckpt: dict) -> None:
+        """Restore a checkpoint taken by :meth:`save_checkpoint`."""
+        if ckpt.get("n") != self.n:
+            raise SimulationError(
+                f"checkpoint is for batch size {ckpt.get('n')}, not {self.n}"
+            )
+        self.arrays.restore(ckpt["pools"])
+        self._prev_clock = dict(ckpt["prev_clock"])
+        self.cycles_run = ckpt["cycles_run"]
+
+    def evaluate(self) -> None:
+        """One full-cycle evaluation (edge updates, then comb settle)."""
+        triggered = self._triggered_domains()
+        # Non-blocking semantics across domains: when several clocks edge
+        # in the same evaluation, every domain's next-state computes from
+        # the pre-edge state before any domain commits.
+        for domain in triggered:
+            self.executor.run_seq(self.arrays, *domain)
+        for domain in triggered:
+            self._commit(domain)
+        self.executor.run_comb(self.arrays)
+        for clock in self._prev_clock:
+            self._prev_clock[clock] = int(self.arrays.read(clock)[0]) & 1
+
+    def cycle(self, inputs: Optional[Mapping[str, ArrayLike]] = None) -> None:
+        """Listing 1's loop body: set inputs, toggle the clock twice."""
+        if inputs:
+            with self.stopwatch.span("set_inputs"):
+                self.set_inputs(inputs)
+        with self.stopwatch.span("evaluate"):
+            self.set_clock(0)
+            self.evaluate()
+            self.set_clock(1)
+            self.evaluate()
+        self.cycles_run += 1
+
+    def run(
+        self,
+        stimulus: "object" = None,
+        cycles: Optional[int] = None,
+        watch: Optional[Iterable[str]] = None,
+        trace_every: int = 0,
+        stop: Optional[str] = None,
+        stop_mode: str = "all",
+        stop_check_every: int = 16,
+    ) -> Dict[str, np.ndarray]:
+        """Run a batch stimulus.
+
+        ``stimulus`` is a :class:`repro.stimulus.batch.StimulusBatch` (or
+        None to hold inputs constant for ``cycles``).  Returns final
+        values of the watched signals (default: design outputs); with
+        ``trace_every > 0``, per-sample traces of shape (samples, N).
+
+        ``stop`` names a 1-bit signal that ends the run early — Listing
+        1's ``while (!sim.stop ...)``.  ``stop_mode='all'`` stops once
+        every lane asserts it (e.g. all CPUs halted), ``'any'`` on the
+        first lane.  The signal is polled every ``stop_check_every``
+        cycles to keep the host/device synchronization cost negligible
+        (the batch analog of checking a device-side flag).
+        """
+        names = list(watch) if watch is not None else [
+            s.name for s in self.model.design.outputs
+        ]
+        if stop is not None and stop_mode not in ("all", "any"):
+            raise SimulationError(f"stop_mode must be 'all' or 'any', not {stop_mode!r}")
+        total = cycles if cycles is not None else (
+            len(stimulus) if stimulus is not None else 0
+        )
+        traces: Dict[str, List[np.ndarray]] = {n: [] for n in names}
+        for c in range(total):
+            if stimulus is not None and c < len(stimulus):
+                with self.stopwatch.span("set_inputs"):
+                    for name, arr in stimulus.inputs_at(c).items():
+                        self.set_input(name, arr)
+            with self.stopwatch.span("evaluate"):
+                self.set_clock(0)
+                self.evaluate()
+                self.set_clock(1)
+                self.evaluate()
+            self.cycles_run += 1
+            if trace_every and (c % trace_every == trace_every - 1):
+                for n in names:
+                    traces[n].append(self.get(n).copy())
+            if stop is not None and (c % stop_check_every == stop_check_every - 1):
+                flags = self.get(stop)
+                done = flags.all() if stop_mode == "all" else flags.any()
+                if done:
+                    break
+        if trace_every:
+            return {n: np.stack(v) if v else np.empty((0, self.n)) for n, v in traces.items()}
+        return {n: self.get(n).copy() for n in names}

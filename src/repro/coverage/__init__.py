@@ -1,0 +1,21 @@
+"""Batch coverage collection.
+
+The paper's motivation (§1) is functional verification signoff:
+"converging on coverage closure ... requires many thousands of nightly
+regression tests".  This package provides the coverage side of that
+workflow over batch simulation: per-signal toggle coverage and per-signal
+value coverage, collected *vectorized across all stimulus at once*, plus
+mergeable reports for multi-batch campaigns.
+"""
+
+from repro.coverage.toggle import ToggleCoverage, CoverageReport
+from repro.coverage.collector import CoverageCollector
+from repro.coverage.checks import BatchChecker, Violation
+
+__all__ = [
+    "ToggleCoverage",
+    "CoverageReport",
+    "CoverageCollector",
+    "BatchChecker",
+    "Violation",
+]

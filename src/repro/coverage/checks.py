@@ -1,0 +1,156 @@
+"""Batch assertion checking.
+
+Verilog's ``initial``/SVA checking is out of subset, so properties are
+expressed as Python predicates over signal values and evaluated
+*vectorized across all stimulus lanes* each cycle — one numpy expression
+per property regardless of batch size.  Violations record which lanes
+failed at which cycle, so a failing lane can be re-run with a VCD dump.
+
+::
+
+    checker = BatchChecker(sim)
+    checker.add("count_bounded", lambda s: s["count"] <= 200)
+    checker.add("no_wrap_while_reset",
+                lambda s: (s["rst"] == 0) | (s["count"] == 0))
+    for c in range(cycles):
+        sim.cycle(stim.inputs_at(c))
+        checker.check(cycle=c)
+    checker.raise_on_failure()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.errors import SimulationError
+
+
+@dataclass
+class Violation:
+    """One property failure: which lanes violated it at which cycle."""
+
+    prop: str
+    cycle: int
+    lanes: List[int]
+
+    def __str__(self) -> str:
+        shown = ", ".join(map(str, self.lanes[:8]))
+        more = ", ..." if len(self.lanes) > 8 else ""
+        return f"{self.prop} @ cycle {self.cycle}: lanes [{shown}{more}]"
+
+
+@dataclass
+class _Property:
+    name: str
+    predicate: Callable[[Mapping[str, np.ndarray]], np.ndarray]
+    signals: Optional[List[str]]
+
+
+class BatchChecker:
+    """Evaluates registered properties over a batch simulator each cycle."""
+
+    def __init__(self, sim, max_violations: int = 100):
+        """``sim`` needs ``.get(name)`` and ``.model`` (a BatchSimulator).
+
+        Collection stops after ``max_violations`` records per property so
+        a broken design cannot flood memory.
+        """
+        self.sim = sim
+        self.max_violations = max_violations
+        self._props: List[_Property] = []
+        self.violations: List[Violation] = []
+        self._counts: Dict[str, int] = {}
+        self.cycles_checked = 0
+
+    def add(
+        self,
+        name: str,
+        predicate: Callable[[Mapping[str, np.ndarray]], np.ndarray],
+        signals: Optional[Sequence[str]] = None,
+    ) -> "BatchChecker":
+        """Register a property.
+
+        ``predicate`` receives a mapping of signal name -> (N,) values and
+        returns a boolean array (True = property holds on that lane);
+        ``signals`` restricts which values are fetched (default: all
+        design signals, lazily via a view object).
+        """
+        if any(p.name == name for p in self._props):
+            raise SimulationError(f"duplicate property name {name!r}")
+        design = self.sim.model.design
+        if signals is not None:
+            unknown = [s for s in signals if s not in design.signals]
+            if unknown:
+                raise SimulationError(f"unknown signals in property: {unknown}")
+        self._props.append(_Property(name, predicate, list(signals) if signals else None))
+        self._counts[name] = 0
+        return self
+
+    def _values(self, prop: _Property) -> Mapping[str, np.ndarray]:
+        if prop.signals is not None:
+            return {s: self.sim.get(s) for s in prop.signals}
+        sim = self.sim
+
+        class _View(dict):
+            def __missing__(self, key):
+                value = sim.get(key)
+                self[key] = value
+                return value
+
+        return _View()
+
+    def check(self, cycle: Optional[int] = None) -> List[Violation]:
+        """Evaluate every property against the current state."""
+        at = cycle if cycle is not None else self.cycles_checked
+        new: List[Violation] = []
+        for prop in self._props:
+            if self._counts[prop.name] >= self.max_violations:
+                continue
+            ok = np.asarray(prop.predicate(self._values(prop)))
+            if ok.ndim == 0:
+                ok = np.full(self.sim.n, bool(ok))
+            bad = np.nonzero(~ok.astype(bool))[0]
+            if bad.size:
+                v = Violation(prop.name, at, [int(b) for b in bad])
+                new.append(v)
+                self.violations.append(v)
+                self._counts[prop.name] += 1
+        self.cycles_checked += 1
+        return new
+
+    def run(self, stim, cycles: Optional[int] = None) -> List[Violation]:
+        """Drive the simulator and check after every cycle."""
+        total = cycles if cycles is not None else len(stim)
+        for c in range(total):
+            self.sim.cycle(stim.inputs_at(c) if c < len(stim) else None)
+            self.check(cycle=c)
+        return self.violations
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def raise_on_failure(self) -> None:
+        """Raise SimulationError summarizing violations, if any."""
+        if self.violations:
+            head = "\n  ".join(str(v) for v in self.violations[:10])
+            more = (
+                f"\n  ... and {len(self.violations) - 10} more"
+                if len(self.violations) > 10
+                else ""
+            )
+            raise SimulationError(
+                f"{len(self.violations)} property violation(s):\n  {head}{more}"
+            )
+
+    def summary(self) -> str:
+        """One-line campaign result."""
+        if self.passed:
+            return (
+                f"all {len(self._props)} properties held over "
+                f"{self.cycles_checked} cycles x {self.sim.n} lanes"
+            )
+        return f"{len(self.violations)} violation(s); first: {self.violations[0]}"

@@ -1,0 +1,18 @@
+"""Bundled benchmark designs (the paper's Table 1 benchmarks, scaled).
+
+* :mod:`repro.designs.micro` — counter / ALU / FIFO micro designs used by
+  examples and tests.
+* :mod:`repro.designs.riscv_mini` — a single-cycle RV32I-subset CPU with
+  instruction/data memories and memory-mapped stimulus I/O (the paper's
+  riscv-mini role).
+* :mod:`repro.designs.spinal_soc` — a mid-size SoC-flavoured datapath
+  (FIR pipeline, FIFO, timer, arbiter) standing in for Spinal/VexRiscv.
+* :mod:`repro.designs.nvdla_lite` — a size-parameterized MAC-array
+  convolution accelerator standing in for NVDLA; its PE count scales the
+  design into the "large" regime.
+* :mod:`repro.designs.library` — the registry mapping names to bundles.
+"""
+
+from repro.designs.library import DesignBundle, get_design, list_designs
+
+__all__ = ["DesignBundle", "get_design", "list_designs"]

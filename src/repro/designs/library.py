@@ -1,0 +1,196 @@
+"""Design registry: name -> ready-to-simulate bundle.
+
+Each bundle knows how to generate its Verilog, produce benchmark stimulus
+(the paper's "scripts that allow us to generate multiple stimulus with
+different configurations"), and preload memories (program/weight images).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.designs import crypto_wide, micro, nvdla_lite, riscv_mini, spinal_soc
+from repro.stimulus.batch import StimulusBatch
+from repro.utils.errors import ReproError
+
+
+@dataclass
+class DesignBundle:
+    """A benchmark design plus its workload recipe."""
+
+    name: str
+    top: str
+    source: str
+    watch: List[str]
+    # Called with (n, cycles, seed) -> StimulusBatch.
+    make_stimulus: Callable[[int, int, int], StimulusBatch]
+    # Called with any simulator exposing load_memory(name, values).
+    preload: Callable[[object], None] = lambda sim: None
+    params: Dict[str, int] = field(default_factory=dict)
+
+
+def _riscv_bundle(program: str = "echo3", imem_words: int = 256,
+                  dmem_words: int = 256) -> DesignBundle:
+    source = riscv_mini.generate(imem_words, dmem_words)
+    image = riscv_mini.program_image(program)
+
+    def make_stimulus(n: int, cycles: int, seed: int) -> StimulusBatch:
+        rng = np.random.default_rng(seed)
+        rst = np.zeros((cycles, n), dtype=np.uint64)
+        rst[0, :] = 1
+        io_in = rng.integers(0, 1 << 16, size=(cycles, n), dtype=np.uint64)
+        return StimulusBatch({"rst": rst, "io_in": io_in})
+
+    def preload(sim) -> None:
+        sim.load_memory("imem", image)
+
+    return DesignBundle(
+        name="riscv_mini",
+        top="riscv_mini",
+        source=source,
+        watch=["io_out_port", "a0_out", "pc_out", "halted"],
+        make_stimulus=make_stimulus,
+        preload=preload,
+        params={"imem_words": imem_words, "dmem_words": dmem_words},
+    )
+
+
+def _spinal_bundle(taps: int = 8) -> DesignBundle:
+    source = spinal_soc.generate(taps=taps)
+
+    def make_stimulus(n: int, cycles: int, seed: int) -> StimulusBatch:
+        rng = np.random.default_rng(seed)
+        rst = np.zeros((cycles, n), dtype=np.uint64)
+        rst[0, :] = 1
+        return StimulusBatch(
+            {
+                "rst": rst,
+                "sample": rng.integers(0, 1 << 16, (cycles, n), dtype=np.uint64),
+                "prescale": np.full((cycles, n), 2, dtype=np.uint64),
+                "compare": np.full((cycles, n), 50, dtype=np.uint64),
+                "push": rng.integers(0, 2, (cycles, n), dtype=np.uint64),
+                "pop": rng.integers(0, 2, (cycles, n), dtype=np.uint64),
+            }
+        )
+
+    return DesignBundle(
+        name="spinal",
+        top="spinal_soc",
+        source=source,
+        watch=["fir_out", "checksum", "timer_value", "grant"],
+        make_stimulus=make_stimulus,
+        params={"taps": taps},
+    )
+
+
+def _nvdla_bundle(pes: int = 8, seed: int = 1234) -> DesignBundle:
+    source = nvdla_lite.generate(pes=pes)
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(1, 256, size=pes * nvdla_lite.K, dtype=np.uint64)
+
+    def make_stimulus(n: int, cycles: int, seed: int) -> StimulusBatch:
+        rng = np.random.default_rng(seed)
+        rst = np.zeros((cycles, n), dtype=np.uint64)
+        rst[0, :] = 1
+        start = np.zeros((cycles, n), dtype=np.uint64)
+        if cycles > 1:
+            start[1, :] = 1
+        return StimulusBatch(
+            {
+                "rst": rst,
+                "start": start,
+                "clear": np.zeros((cycles, n), dtype=np.uint64),
+                "in_valid": rng.integers(0, 2, (cycles, n), dtype=np.uint64),
+                "act": rng.integers(0, 256, (cycles, n), dtype=np.uint64),
+            }
+        )
+
+    def preload(sim) -> None:
+        sim.load_memory("wmem", weights)
+
+    return DesignBundle(
+        name="nvdla",
+        top="nvdla_lite",
+        source=source,
+        watch=["out_data", "checksum", "state_out"],
+        make_stimulus=make_stimulus,
+        preload=preload,
+        params={"pes": pes},
+    )
+
+
+def _counter_bundle(width: int = 16) -> DesignBundle:
+    source = micro.COUNTER
+
+    def make_stimulus(n: int, cycles: int, seed: int) -> StimulusBatch:
+        rng = np.random.default_rng(seed)
+        rst = np.zeros((cycles, n), dtype=np.uint64)
+        rst[0, :] = 1
+        return StimulusBatch(
+            {"rst": rst, "en": rng.integers(0, 2, (cycles, n), dtype=np.uint64)}
+        )
+
+    return DesignBundle(
+        name="counter",
+        top="counter",
+        source=source,
+        watch=["count", "wrap"],
+        make_stimulus=make_stimulus,
+    )
+
+
+def _crypto_bundle(rounds: int = 4) -> DesignBundle:
+    source = crypto_wide.generate(rounds=rounds)
+
+    def make_stimulus(n: int, cycles: int, seed: int) -> StimulusBatch:
+        rng = np.random.default_rng(seed)
+        rst = np.zeros((cycles, n), dtype=np.uint64)
+        rst[0, :] = 1
+        raw = rng.integers(0, 1 << 32, (cycles, n), dtype=np.uint64)
+        din = (raw << np.uint64(32)) | rng.integers(
+            0, 1 << 32, (cycles, n), dtype=np.uint64
+        )
+        return StimulusBatch(
+            {
+                "rst": rst,
+                "absorb": rng.integers(0, 2, (cycles, n), dtype=np.uint64),
+                "din": din,
+            }
+        )
+
+    return DesignBundle(
+        name="crypto",
+        top="crypto_wide",
+        source=source,
+        watch=["digest", "parity"],
+        make_stimulus=make_stimulus,
+        params={"rounds": rounds},
+    )
+
+
+_FACTORIES: Dict[str, Callable[..., DesignBundle]] = {
+    "riscv_mini": _riscv_bundle,
+    "spinal": _spinal_bundle,
+    "nvdla": _nvdla_bundle,
+    "counter": _counter_bundle,
+    "crypto": _crypto_bundle,
+}
+
+
+def list_designs() -> List[str]:
+    """Names of the bundled benchmark designs."""
+    return sorted(_FACTORIES)
+
+
+def get_design(name: str, **params) -> DesignBundle:
+    """Instantiate a bundled design by name (with size parameters)."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown design {name!r}; available: {', '.join(list_designs())}"
+        )
+    return factory(**params)

@@ -1,0 +1,124 @@
+"""Micro designs used by examples, tests and the quickstart."""
+
+from __future__ import annotations
+
+COUNTER = """
+module counter #(parameter W = 8) (
+    input wire clk,
+    input wire rst,
+    input wire en,
+    output wire [W-1:0] count,
+    output wire wrap
+);
+    reg [W-1:0] q;
+    always @(posedge clk) begin
+        if (rst) q <= 0;
+        else if (en) q <= q + 1;
+    end
+    assign count = q;
+    assign wrap = en && (q == {W{1'b1}});
+endmodule
+"""
+
+ALU = """
+module alu #(parameter W = 16) (
+    input wire [W-1:0] a,
+    input wire [W-1:0] b,
+    input wire [3:0] op,
+    output reg [W-1:0] y,
+    output wire zero,
+    output wire parity
+);
+    always @* begin
+        case (op)
+            4'd0: y = a + b;
+            4'd1: y = a - b;
+            4'd2: y = a & b;
+            4'd3: y = a | b;
+            4'd4: y = a ^ b;
+            4'd5: y = ~a;
+            4'd6: y = a << b[3:0];
+            4'd7: y = a >> b[3:0];
+            4'd8: y = (a < b) ? {{(W-1){1'b0}}, 1'b1} : {W{1'b0}};
+            4'd9: y = (a == b) ? {{(W-1){1'b0}}, 1'b1} : {W{1'b0}};
+            4'd10: y = a * b;
+            4'd11: y = a / b;
+            4'd12: y = a % b;
+            default: y = {W{1'b0}};
+        endcase
+    end
+    assign zero = (y == {W{1'b0}});
+    assign parity = ^y;
+endmodule
+"""
+
+FIFO = """
+module fifo #(parameter W = 8, parameter LOGD = 3) (
+    input wire clk,
+    input wire rst,
+    input wire push,
+    input wire pop,
+    input wire [W-1:0] din,
+    output wire [W-1:0] dout,
+    output wire empty,
+    output wire full,
+    output wire [LOGD:0] count
+);
+    reg [W-1:0] mem [0:(1<<LOGD)-1];
+    reg [LOGD:0] wptr, rptr, cnt;
+
+    wire do_push = push && !full;
+    wire do_pop  = pop && !empty;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            wptr <= 0;
+            rptr <= 0;
+            cnt <= 0;
+        end
+        else begin
+            if (do_push) begin
+                mem[wptr[LOGD-1:0]] <= din;
+                wptr <= wptr + 1;
+            end
+            if (do_pop) rptr <= rptr + 1;
+            if (do_push && !do_pop) cnt <= cnt + 1;
+            if (do_pop && !do_push) cnt <= cnt - 1;
+        end
+    end
+
+    assign dout = mem[rptr[LOGD-1:0]];
+    assign empty = (cnt == 0);
+    assign full = (cnt == (1 << LOGD));
+    assign count = cnt;
+endmodule
+"""
+
+GRAY_PIPELINE = """
+// A deep, narrow pipeline: good for partitioning/chain-merge tests.
+module graypipe #(parameter W = 16, parameter STAGES = 8) (
+    input wire clk,
+    input wire rst,
+    input wire [W-1:0] din,
+    output wire [W-1:0] dout
+);
+    reg [W-1:0] s0, s1, s2, s3, s4, s5, s6, s7;
+    always @(posedge clk) begin
+        if (rst) begin
+            s0 <= 0; s1 <= 0; s2 <= 0; s3 <= 0;
+            s4 <= 0; s5 <= 0; s6 <= 0; s7 <= 0;
+        end
+        else begin
+            s0 <= din ^ (din >> 1);
+            s1 <= s0 + 1;
+            s2 <= s1 ^ (s1 << 2);
+            s3 <= s2 - 3;
+            s4 <= s3 ^ (s3 >> 3);
+            s5 <= s4 + s0;
+            s6 <= s5 ^ s2;
+            s7 <= s6 + s4;
+        end
+    end
+    assign dout = s7;
+endmodule
+"""

@@ -1,0 +1,227 @@
+"""A tiny RV32I assembler for the riscv_mini design.
+
+Supports the instruction subset the core implements; used by tests,
+examples and benchmark program images.  Registers are ``x0``..``x31`` (ABI
+aliases for the common ones), immediates are decimal or 0x-hex.
+
+Example::
+
+    words = assemble('''
+        addi x1, x0, 10      # n = 10
+        addi x2, x0, 0       # acc = 0
+    loop:
+        add  x2, x2, x1
+        addi x1, x1, -1
+        bne  x1, x0, loop
+        sw   x2, 0x7F4(x0)   # write result to the output port
+    halt:
+        jal  x0, halt
+    ''')
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.utils.errors import ReproError
+
+
+class AsmError(ReproError):
+    pass
+
+
+_ABI = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+    "a6": 16, "a7": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21,
+    "s6": 22, "s7": 23, "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+
+def _reg(tok: str) -> int:
+    tok = tok.strip().lower()
+    if tok in _ABI:
+        return _ABI[tok]
+    m = re.fullmatch(r"x(\d+)", tok)
+    if not m or not 0 <= int(m.group(1)) < 32:
+        raise AsmError(f"bad register {tok!r}")
+    return int(m.group(1))
+
+
+def _imm(tok: str, labels: Dict[str, int], pc: int) -> int:
+    tok = tok.strip()
+    if tok in labels:
+        return labels[tok] - pc  # pc-relative by default for labels
+    try:
+        return int(tok, 0)
+    except ValueError:
+        raise AsmError(f"bad immediate {tok!r}")
+
+
+def _enc_r(funct7, rs2, rs1, funct3, rd, opcode):
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def _enc_i(imm, rs1, funct3, rd, opcode):
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def _enc_s(imm, rs2, rs1, funct3, opcode):
+    return (
+        (((imm >> 5) & 0x7F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+    )
+
+
+def _enc_b(imm, rs2, rs1, funct3):
+    return (
+        (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | 0x63
+    )
+
+
+def _enc_u(imm, rd, opcode):
+    return (imm & 0xFFFFF000) | (rd << 7) | opcode
+
+
+def _enc_j(imm, rd):
+    return (
+        (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (rd << 7)
+        | 0x6F
+    )
+
+
+_R_OPS = {
+    "add": (0x00, 0), "sub": (0x20, 0), "sll": (0x00, 1), "slt": (0x00, 2),
+    "sltu": (0x00, 3), "xor": (0x00, 4), "srl": (0x00, 5), "sra": (0x20, 5),
+    "or": (0x00, 6), "and": (0x00, 7),
+}
+_I_OPS = {
+    "addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7,
+}
+_SHIFT_OPS = {"slli": (0x00, 1), "srli": (0x00, 5), "srai": (0x20, 5)}
+_B_OPS = {"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}
+
+_MEM_RE = re.compile(r"^(-?\w+)\s*\(\s*(\w+)\s*\)$")
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [p.strip() for p in rest.split(",")] if rest.strip() else []
+
+
+def assemble(text: str, base: int = 0) -> List[int]:
+    """Assemble ``text`` to a list of 32-bit instruction words."""
+    # Pass 1: labels.
+    labels: Dict[str, int] = {}
+    prog: List[Tuple[int, str, str]] = []  # (pc, mnemonic, operands)
+    pc = base
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        while True:
+            m = re.match(r"^(\w+)\s*:\s*(.*)$", line)
+            if not m:
+                break
+            labels[m.group(1)] = pc
+            line = m.group(2).strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        prog.append((pc, parts[0].lower(), parts[1] if len(parts) > 1 else ""))
+        pc += 4
+
+    # Pass 2: encoding.
+    out: List[int] = []
+    for pc, op, rest in prog:
+        ops = _split_operands(rest)
+        try:
+            out.append(_encode_one(op, ops, labels, pc))
+        except AsmError as exc:
+            raise AsmError(f"at pc={pc:#x} ({op} {rest}): {exc}") from exc
+    return out
+
+
+def _encode_one(op: str, ops: List[str], labels: Dict[str, int], pc: int) -> int:
+    if op in _R_OPS:
+        f7, f3 = _R_OPS[op]
+        rd, rs1, rs2 = _reg(ops[0]), _reg(ops[1]), _reg(ops[2])
+        return _enc_r(f7, rs2, rs1, f3, rd, 0x33)
+    if op in _I_OPS:
+        rd, rs1 = _reg(ops[0]), _reg(ops[1])
+        imm = _imm(ops[2], {}, pc)
+        if not -2048 <= imm < 2048:
+            raise AsmError(f"immediate {imm} out of I-type range")
+        return _enc_i(imm, rs1, _I_OPS[op], rd, 0x13)
+    if op in _SHIFT_OPS:
+        f7, f3 = _SHIFT_OPS[op]
+        rd, rs1 = _reg(ops[0]), _reg(ops[1])
+        sh = _imm(ops[2], {}, pc)
+        if not 0 <= sh < 32:
+            raise AsmError(f"shift amount {sh} out of range")
+        return _enc_i((f7 << 5) | sh, rs1, f3, rd, 0x13)
+    if op in _B_OPS:
+        rs1, rs2 = _reg(ops[0]), _reg(ops[1])
+        off = _imm(ops[2], labels, pc)
+        if off % 2:
+            raise AsmError("branch target must be 2-byte aligned")
+        return _enc_b(off, rs2, rs1, _B_OPS[op])
+    if op == "lw":
+        rd = _reg(ops[0])
+        m = _MEM_RE.match(ops[1])
+        if not m:
+            raise AsmError(f"bad memory operand {ops[1]!r}")
+        imm = _imm(m.group(1), {}, pc)
+        return _enc_i(imm, _reg(m.group(2)), 2, rd, 0x03)
+    if op == "sw":
+        rs2 = _reg(ops[0])
+        m = _MEM_RE.match(ops[1])
+        if not m:
+            raise AsmError(f"bad memory operand {ops[1]!r}")
+        imm = _imm(m.group(1), {}, pc)
+        return _enc_s(imm, rs2, _reg(m.group(2)), 2, 0x23)
+    if op == "lui":
+        return _enc_u(_imm(ops[1], {}, pc) << 12, _reg(ops[0]), 0x37)
+    if op == "auipc":
+        return _enc_u(_imm(ops[1], {}, pc) << 12, _reg(ops[0]), 0x17)
+    if op == "jal":
+        rd = _reg(ops[0])
+        off = _imm(ops[1], labels, pc)
+        return _enc_j(off, rd)
+    if op == "jalr":
+        rd = _reg(ops[0])
+        m = _MEM_RE.match(ops[1]) if len(ops) == 2 else None
+        if m:
+            return _enc_i(_imm(m.group(1), {}, pc), _reg(m.group(2)), 0, rd, 0x67)
+        rs1 = _reg(ops[1])
+        imm = _imm(ops[2], {}, pc) if len(ops) > 2 else 0
+        return _enc_i(imm, rs1, 0, rd, 0x67)
+    if op == "nop":
+        return _enc_i(0, 0, 0, 0, 0x13)
+    if op == "mv":
+        return _enc_i(0, _reg(ops[1]), 0, _reg(ops[0]), 0x13)
+    if op == "li":
+        value = _imm(ops[1], {}, pc)
+        if -2048 <= value < 2048:
+            return _enc_i(value, 0, 0, _reg(ops[0]), 0x13)
+        raise AsmError("li only supports 12-bit immediates; use lui+addi")
+    if op == "j":
+        return _enc_j(_imm(ops[0], labels, pc), 0)
+    raise AsmError(f"unknown mnemonic {op!r}")

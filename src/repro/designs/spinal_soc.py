@@ -1,0 +1,229 @@
+"""spinal_soc: a mid-size SoC-flavoured datapath.
+
+Stands in for the paper's Spinal (VexRiscv) benchmark in the "medium
+design" role: a FIR filter pipeline, an LFSR scrambler, a timer with
+compare interrupt, a small FIFO and a round-robin arbiter, all driven
+from per-stimulus input samples.  The tap count parameterizes design
+size (the FIR stages are emitted unrolled, like generated RTL).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def _fir_coeffs(taps: int) -> List[int]:
+    """Deterministic pseudo-coefficients (odd, 6-bit)."""
+    coeffs = []
+    x = 17
+    for _ in range(taps):
+        x = (x * 37 + 11) % 64
+        coeffs.append(x | 1)
+    return coeffs
+
+
+def generate(taps: int = 8, fifo_logd: int = 4) -> str:
+    """Emit the spinal_soc Verilog source with ``taps`` FIR stages."""
+    if taps < 2:
+        raise ValueError("taps must be >= 2")
+    coeffs = _fir_coeffs(taps)
+
+    # Unrolled FIR delay line + multiply-accumulate stages.
+    delay_decls = "\n".join(
+        f"    reg [15:0] z{i};" for i in range(taps)
+    )
+    delay_shift = "\n".join(
+        [f"            z0 <= sample;"]
+        + [f"            z{i} <= z{i - 1};" for i in range(1, taps)]
+    )
+    prod_decls = "\n".join(
+        f"    wire [21:0] p{i} = z{i} * 6'd{coeffs[i]};" for i in range(taps)
+    )
+    # Balanced-ish adder chain, emitted unrolled.
+    sum_terms = " + ".join(f"p{i}" for i in range(taps))
+    reset_delays = "\n".join(
+        f"            z{i} <= 0;" for i in range(taps)
+    )
+
+    return f"""
+// spinal_soc: FIR + LFSR + timer + FIFO + arbiter (generated, {taps} taps)
+module soc_fifo #(parameter W = 16, parameter LOGD = {fifo_logd}) (
+    input wire clk,
+    input wire rst,
+    input wire push,
+    input wire pop,
+    input wire [W-1:0] din,
+    output wire [W-1:0] dout,
+    output wire empty,
+    output wire full
+);
+    reg [W-1:0] mem [0:(1<<LOGD)-1];
+    reg [LOGD:0] wptr, rptr, cnt;
+    wire do_push = push && !full;
+    wire do_pop = pop && !empty;
+    always @(posedge clk) begin
+        if (rst) begin
+            wptr <= 0; rptr <= 0; cnt <= 0;
+        end
+        else begin
+            if (do_push) begin
+                mem[wptr[LOGD-1:0]] <= din;
+                wptr <= wptr + 1;
+            end
+            if (do_pop) rptr <= rptr + 1;
+            if (do_push && !do_pop) cnt <= cnt + 1;
+            if (do_pop && !do_push) cnt <= cnt - 1;
+        end
+    end
+    assign dout = mem[rptr[LOGD-1:0]];
+    assign empty = (cnt == 0);
+    assign full = (cnt == (1 << LOGD));
+endmodule
+
+module soc_timer (
+    input wire clk,
+    input wire rst,
+    input wire [7:0] prescale,
+    input wire [15:0] compare,
+    output wire irq,
+    output wire [15:0] value
+);
+    reg [7:0] pre;
+    reg [15:0] cntr;
+    reg hit;
+    always @(posedge clk) begin
+        if (rst) begin
+            pre <= 0; cntr <= 0; hit <= 0;
+        end
+        else begin
+            if (pre >= prescale) begin
+                pre <= 0;
+                cntr <= cntr + 1;
+                hit <= (cntr + 1 == compare);
+            end
+            else begin
+                pre <= pre + 1;
+                hit <= 0;
+            end
+        end
+    end
+    assign irq = hit;
+    assign value = cntr;
+endmodule
+
+module soc_arbiter (
+    input wire clk,
+    input wire rst,
+    input wire [3:0] req,
+    output wire [3:0] grant
+);
+    reg [1:0] last;
+    reg [3:0] g;
+    always @* begin
+        g = 4'd0;
+        case (last)
+            2'd0: begin
+                if (req[1]) g = 4'b0010;
+                else if (req[2]) g = 4'b0100;
+                else if (req[3]) g = 4'b1000;
+                else if (req[0]) g = 4'b0001;
+            end
+            2'd1: begin
+                if (req[2]) g = 4'b0100;
+                else if (req[3]) g = 4'b1000;
+                else if (req[0]) g = 4'b0001;
+                else if (req[1]) g = 4'b0010;
+            end
+            2'd2: begin
+                if (req[3]) g = 4'b1000;
+                else if (req[0]) g = 4'b0001;
+                else if (req[1]) g = 4'b0010;
+                else if (req[2]) g = 4'b0100;
+            end
+            default: begin
+                if (req[0]) g = 4'b0001;
+                else if (req[1]) g = 4'b0010;
+                else if (req[2]) g = 4'b0100;
+                else if (req[3]) g = 4'b1000;
+            end
+        endcase
+    end
+    always @(posedge clk) begin
+        if (rst) last <= 0;
+        else begin
+            if (g[0]) last <= 2'd0;
+            else if (g[1]) last <= 2'd1;
+            else if (g[2]) last <= 2'd2;
+            else if (g[3]) last <= 2'd3;
+        end
+    end
+    assign grant = g;
+endmodule
+
+module spinal_soc (
+    input wire clk,
+    input wire rst,
+    input wire [15:0] sample,
+    input wire [7:0] prescale,
+    input wire [15:0] compare,
+    input wire push,
+    input wire pop,
+    output wire [23:0] fir_out,
+    output wire [15:0] scrambled,
+    output wire timer_irq,
+    output wire [15:0] timer_value,
+    output wire [3:0] grant,
+    output wire [15:0] fifo_out,
+    output wire fifo_empty,
+    output wire fifo_full,
+    output wire [15:0] checksum
+);
+    // ---- FIR pipeline ({taps} taps, unrolled) ----------------------------
+{delay_decls}
+    reg [23:0] acc;
+    always @(posedge clk) begin
+        if (rst) begin
+{reset_delays}
+            acc <= 0;
+        end
+        else begin
+{delay_shift}
+            acc <= ({sum_terms}) & 24'hFFFFFF;
+        end
+    end
+{prod_decls}
+
+    // ---- LFSR scrambler ----------------------------------------------------
+    reg [15:0] lfsr;
+    wire fb = lfsr[15] ^ lfsr[13] ^ lfsr[12] ^ lfsr[10];
+    always @(posedge clk) begin
+        if (rst) lfsr <= 16'hACE1;
+        else lfsr <= {{lfsr[14:0], fb}};
+    end
+
+    // ---- peripherals -------------------------------------------------------
+    soc_timer timer0 (
+        .clk(clk), .rst(rst), .prescale(prescale), .compare(compare),
+        .irq(timer_irq), .value(timer_value)
+    );
+    soc_arbiter arb0 (
+        .clk(clk), .rst(rst), .req(sample[3:0]), .grant(grant)
+    );
+    soc_fifo #(.W(16)) fifo0 (
+        .clk(clk), .rst(rst), .push(push), .pop(pop),
+        .din(sample ^ lfsr), .dout(fifo_out),
+        .empty(fifo_empty), .full(fifo_full)
+    );
+
+    // ---- outputs ------------------------------------------------------------
+    reg [15:0] csum;
+    always @(posedge clk) begin
+        if (rst) csum <= 0;
+        else csum <= (csum ^ acc[15:0]) + {{12'd0, grant}};
+    end
+
+    assign fir_out = acc;
+    assign scrambled = sample ^ lfsr;
+    assign checksum = csum;
+endmodule
+"""

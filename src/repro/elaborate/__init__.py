@@ -1,0 +1,19 @@
+"""Elaboration: hierarchy flattening, parameter resolution, width
+inference and always-block lowering into a flat two-state design."""
+
+from repro.elaborate.constfold import eval_const, fold_expr
+from repro.elaborate.elaborator import FlatDesign, Signal, Memory, elaborate
+from repro.elaborate.symexec import CombAssign, SeqUpdate, MemWrite, SeqBlock
+
+__all__ = [
+    "eval_const",
+    "fold_expr",
+    "FlatDesign",
+    "Signal",
+    "Memory",
+    "elaborate",
+    "CombAssign",
+    "SeqUpdate",
+    "MemWrite",
+    "SeqBlock",
+]

@@ -1,0 +1,185 @@
+"""Constant evaluation and folding for elaboration-time expressions.
+
+Parameters, range bounds, replication counts and case labels must all
+elaborate to constants; this module evaluates them with the same two-state
+semantics as the runtime engines (``repro.utils.bitvec``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.utils import bitvec as bv
+from repro.utils.errors import ElaborationError
+from repro.verilog import ast_nodes as A
+
+_MOD64 = 1 << 64
+
+
+def eval_const(e: A.Expr, env: Optional[Dict[str, int]] = None) -> int:
+    """Evaluate ``e`` to a non-negative integer, or raise ElaborationError.
+
+    ``env`` maps parameter names to already-resolved values.
+    """
+    env = env or {}
+    if isinstance(e, A.Number):
+        return e.value
+    if isinstance(e, A.Ident):
+        if e.name in env:
+            return env[e.name]
+        raise ElaborationError(f"{e.name!r} is not a constant")
+    if isinstance(e, A.Unary):
+        v = eval_const(e.operand, env)
+        if e.op == "-":
+            return (-v) % _MOD64
+        if e.op == "+":
+            return v
+        if e.op == "~":
+            return (~v) % _MOD64
+        if e.op == "!":
+            return 0 if v else 1
+        raise ElaborationError(f"unary {e.op!r} is not a constant operator")
+    if isinstance(e, A.Binary):
+        l = eval_const(e.left, env)
+        r = eval_const(e.right, env)
+        op = e.op
+        if op == "+":
+            return bv.s_add(l, r)
+        if op == "-":
+            return bv.s_sub(l, r)
+        if op == "*":
+            return bv.s_mul(l, r)
+        if op == "/":
+            if r == 0:
+                raise ElaborationError("constant division by zero")
+            return l // r
+        if op == "%":
+            if r == 0:
+                raise ElaborationError("constant modulo by zero")
+            return l % r
+        if op == "**":
+            return bv.s_pow(l, r)
+        if op in ("<<", "<<<"):
+            return bv.s_shl(l, r)
+        if op in (">>", ">>>"):
+            return bv.s_shr(l, r)
+        if op == "&":
+            return l & r
+        if op == "|":
+            return l | r
+        if op == "^":
+            return l ^ r
+        if op in ("==", "==="):
+            return 1 if l == r else 0
+        if op in ("!=", "!=="):
+            return 1 if l != r else 0
+        if op == "<":
+            return 1 if l < r else 0
+        if op == "<=":
+            return 1 if l <= r else 0
+        if op == ">":
+            return 1 if l > r else 0
+        if op == ">=":
+            return 1 if l >= r else 0
+        if op == "&&":
+            return 1 if (l and r) else 0
+        if op == "||":
+            return 1 if (l or r) else 0
+        raise ElaborationError(f"binary {op!r} is not a constant operator")
+    if isinstance(e, A.Ternary):
+        return eval_const(e.then if eval_const(e.cond, env) else e.other, env)
+    raise ElaborationError(f"expression {type(e).__name__} is not constant")
+
+
+def try_const(e: A.Expr, env: Optional[Dict[str, int]] = None) -> Optional[int]:
+    """Evaluate if constant, else None."""
+    try:
+        return eval_const(e, env)
+    except ElaborationError:
+        return None
+
+
+def _lit_width(n: A.Number) -> int:
+    """Self-determined width of a literal (unsized literals are 32-bit)."""
+    return n.size if n.size is not None else max(32, n.value.bit_length() or 1)
+
+
+def fold_expr(e: A.Expr) -> A.Expr:
+    """Bottom-up constant folding over an expression tree.
+
+    Performs the paper's inherited Verilator-style "constant propagation"
+    optimizations at the expression level: fully-constant subtrees are
+    replaced by Number nodes — *width-preserving*, so e.g. ``~1'd0`` folds
+    to ``1'd1``, not to a 64-bit all-ones constant (the self-determined
+    width of a folded literal must match the unfolded expression's, or
+    concat widths change) — and identity operations (``x | 0``-style
+    neutral operands) are simplified where safe without width information.
+    """
+    if isinstance(e, A.Unary):
+        operand = fold_expr(e.operand)
+        e = A.Unary(e.op, operand)
+        if isinstance(operand, A.Number):
+            if e.op == "!":
+                return A.Number(0 if operand.value else 1, 1)
+            if e.op in ("-", "+", "~"):
+                w = _lit_width(operand)
+                value = eval_const(e) & ((1 << w) - 1)
+                return A.Number(value, operand.size)
+        return e
+    if isinstance(e, A.Binary):
+        left = fold_expr(e.left)
+        right = fold_expr(e.right)
+        e = A.Binary(e.op, left, right)
+        if isinstance(left, A.Number) and isinstance(right, A.Number):
+            try:
+                value = eval_const(e)
+            except ElaborationError:
+                return e
+            op = e.op
+            if op in ("==", "!=", "===", "!==", "<", "<=", ">", ">=",
+                      "&&", "||"):
+                return A.Number(value, 1)
+            if op in ("<<", "<<<", ">>", ">>>", "**"):
+                w = _lit_width(left)
+                return A.Number(value & ((1 << w) - 1), left.size)
+            # Arithmetic/bitwise: self width is max of the operand widths;
+            # the result stays sized only if both operands were.
+            w = max(_lit_width(left), _lit_width(right))
+            size = w if (left.size is not None and right.size is not None) else None
+            return A.Number(value & ((1 << w) - 1), size)
+        # Safe identities (result widths follow from the surviving operand).
+        if isinstance(right, A.Number) and right.value == 0:
+            if e.op in ("+", "-", "|", "^", "<<", ">>", "<<<", ">>>"):
+                return left
+            if e.op in ("*", "&"):
+                return A.Number(0, right.size)
+        if isinstance(left, A.Number) and left.value == 0:
+            if e.op in ("+", "|", "^"):
+                return right
+            if e.op in ("*", "&", "<<", ">>", "<<<", ">>>", "/", "%"):
+                return A.Number(0, left.size)
+        if isinstance(right, A.Number) and right.value == 1 and e.op in ("*", "/"):
+            return left
+        return e
+    if isinstance(e, A.Ternary):
+        cond = fold_expr(e.cond)
+        then = fold_expr(e.then)
+        other = fold_expr(e.other)
+        if isinstance(cond, A.Number):
+            return then if cond.value else other
+        return A.Ternary(cond, then, other)
+    if isinstance(e, A.Concat):
+        return A.Concat([fold_expr(p) for p in e.parts])
+    if isinstance(e, A.Repeat):
+        return A.Repeat(fold_expr(e.count), fold_expr(e.value))
+    if isinstance(e, A.Index):
+        return A.Index(e.base, fold_expr(e.index), e.is_memory)
+    if isinstance(e, A.PartSelect):
+        return A.PartSelect(e.base, fold_expr(e.msb), fold_expr(e.lsb))
+    if isinstance(e, A.IndexedPartSelect):
+        return A.IndexedPartSelect(
+            e.base, fold_expr(e.start), fold_expr(e.part_width), e.descending
+        )
+    if isinstance(e, A.FuncCall):
+        return A.FuncCall(e.name, [fold_expr(a) for a in e.args], e.resolved)
+    return e

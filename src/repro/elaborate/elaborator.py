@@ -1,0 +1,845 @@
+"""Hierarchy flattening (the paper's "module inlining").
+
+Elaboration turns a parsed :class:`~repro.verilog.ast_nodes.SourceUnit`
+into a :class:`FlatDesign`: a single namespace of signals and memories
+(cell-qualified names like ``c1.sum``, exactly as the paper's Fig. 4/7),
+a list of continuous assignments, and a list of always blocks — with all
+parameters substituted by constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.elaborate.constfold import eval_const, fold_expr
+from repro.utils.errors import ElaborationError, UnsupportedFeatureError, WidthError
+from repro.verilog import ast_nodes as A
+
+MAX_SIGNAL_WIDTH = 512  # wide signals span var64 limbs
+MAX_MEMORY_WIDTH = 64  # memory elements stay single-limb
+
+
+@dataclass
+class Signal:
+    """A flat scalar/vector signal."""
+
+    name: str
+    width: int
+    kind: str  # 'input' | 'output' | 'wire' | 'reg'
+    lsb: int = 0  # declared low bit index (e.g. [7:4] -> lsb 4)
+
+    @property
+    def is_state(self) -> bool:
+        return self.kind == "reg"
+
+
+@dataclass
+class Memory:
+    """A flat memory (``reg [w-1:0] name [0:d-1]``)."""
+
+    name: str
+    width: int
+    depth: int
+
+
+@dataclass
+class RawAlways:
+    """A flattened (renamed) always block, not yet lowered."""
+
+    events: List[A.EdgeEvent]
+    body: A.Stmt
+
+    @property
+    def is_sequential(self) -> bool:
+        return bool(self.events)
+
+
+@dataclass
+class FlatFunc:
+    """A flattened function, ready for call-site inlining.
+
+    ``ret``/``formals``/``locals_`` are flat *signal names* (declared in
+    the design so widths are known); ``body`` is fully renamed.
+    """
+
+    key: str
+    ret: str
+    ret_width: int
+    formals: List[str]
+    formal_widths: List[int]
+    locals_: List[str]
+    body: A.Stmt
+
+
+@dataclass
+class FlatDesign:
+    """The flat, parameter-free design produced by elaboration."""
+
+    top: str
+    signals: Dict[str, Signal] = field(default_factory=dict)
+    memories: Dict[str, Memory] = field(default_factory=dict)
+    assigns: List[Tuple[A.Expr, A.Expr]] = field(default_factory=list)
+    always: List[RawAlways] = field(default_factory=list)
+    functions: Dict[str, FlatFunc] = field(default_factory=dict)
+    n_cells: int = 0
+
+    @property
+    def inputs(self) -> List[Signal]:
+        return [s for s in self.signals.values() if s.kind == "input"]
+
+    @property
+    def outputs(self) -> List[Signal]:
+        return [s for s in self.signals.values() if s.kind == "output"]
+
+    def add_signal(self, sig: Signal) -> None:
+        if sig.name in self.signals or sig.name in self.memories:
+            raise ElaborationError(f"duplicate signal {sig.name!r}")
+        if sig.width <= 0 or sig.width > MAX_SIGNAL_WIDTH:
+            raise WidthError(
+                f"signal {sig.name!r} has width {sig.width}; supported range is "
+                f"1..{MAX_SIGNAL_WIDTH}"
+            )
+        self.signals[sig.name] = sig
+
+    def width_of(self, name: str) -> int:
+        if name in self.signals:
+            return self.signals[name].width
+        if name in self.memories:
+            return self.memories[name].width
+        raise ElaborationError(f"unknown signal {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Expression / statement renaming
+# ---------------------------------------------------------------------------
+
+
+def _rename_expr(e: A.Expr, prefix: str, params: Dict[str, int], portmap: Dict[str, str]) -> A.Expr:
+    """Rewrite ``e`` into the flat namespace.
+
+    Identifiers that are parameters become Numbers; others get the cell
+    prefix (or a port mapping when inlining connection expressions).
+    """
+
+    def name_of(n: str) -> str:
+        if n in portmap:
+            return portmap[n]
+        return prefix + n
+
+    if isinstance(e, A.Number):
+        return A.Number(e.value, e.size, e.xz_mask)
+    if isinstance(e, A.Ident):
+        if e.name in params:
+            return A.Number(params[e.name], None)
+        return A.Ident(name_of(e.name))
+    if isinstance(e, A.Unary):
+        return A.Unary(e.op, _rename_expr(e.operand, prefix, params, portmap))
+    if isinstance(e, A.Binary):
+        return A.Binary(
+            e.op,
+            _rename_expr(e.left, prefix, params, portmap),
+            _rename_expr(e.right, prefix, params, portmap),
+        )
+    if isinstance(e, A.Ternary):
+        return A.Ternary(
+            _rename_expr(e.cond, prefix, params, portmap),
+            _rename_expr(e.then, prefix, params, portmap),
+            _rename_expr(e.other, prefix, params, portmap),
+        )
+    if isinstance(e, A.Concat):
+        return A.Concat([_rename_expr(p, prefix, params, portmap) for p in e.parts])
+    if isinstance(e, A.Repeat):
+        return A.Repeat(
+            _rename_expr(e.count, prefix, params, portmap),
+            _rename_expr(e.value, prefix, params, portmap),
+        )
+    if isinstance(e, A.Index):
+        if e.base in params:
+            raise ElaborationError(f"cannot index parameter {e.base!r}")
+        return A.Index(name_of(e.base), _rename_expr(e.index, prefix, params, portmap))
+    if isinstance(e, A.PartSelect):
+        return A.PartSelect(
+            name_of(e.base),
+            _rename_expr(e.msb, prefix, params, portmap),
+            _rename_expr(e.lsb, prefix, params, portmap),
+        )
+    if isinstance(e, A.IndexedPartSelect):
+        return A.IndexedPartSelect(
+            name_of(e.base),
+            _rename_expr(e.start, prefix, params, portmap),
+            _rename_expr(e.part_width, prefix, params, portmap),
+            e.descending,
+        )
+    if isinstance(e, A.FuncCall):
+        return A.FuncCall(
+            e.name,
+            [_rename_expr(a, prefix, params, portmap) for a in e.args],
+            resolved=prefix + e.name,
+        )
+    raise ElaborationError(f"cannot rename expression {type(e).__name__}")
+
+
+def _rename_stmt(s: A.Stmt, prefix: str, params: Dict[str, int], portmap: Dict[str, str]) -> A.Stmt:
+    if isinstance(s, A.Block):
+        return A.Block([_rename_stmt(x, prefix, params, portmap) for x in s.stmts])
+    if isinstance(s, A.BlockingAssign):
+        return A.BlockingAssign(
+            _rename_expr(s.lhs, prefix, params, portmap),
+            _rename_expr(s.rhs, prefix, params, portmap),
+        )
+    if isinstance(s, A.NonBlockingAssign):
+        return A.NonBlockingAssign(
+            _rename_expr(s.lhs, prefix, params, portmap),
+            _rename_expr(s.rhs, prefix, params, portmap),
+        )
+    if isinstance(s, A.If):
+        return A.If(
+            _rename_expr(s.cond, prefix, params, portmap),
+            _rename_stmt(s.then, prefix, params, portmap),
+            _rename_stmt(s.other, prefix, params, portmap) if s.other else None,
+        )
+    if isinstance(s, A.Case):
+        return A.Case(
+            _rename_expr(s.subject, prefix, params, portmap),
+            [
+                A.CaseItem(
+                    [_rename_expr(l, prefix, params, portmap) for l in it.labels],
+                    _rename_stmt(it.body, prefix, params, portmap),
+                )
+                for it in s.items
+            ],
+            s.casez,
+        )
+    if isinstance(s, A.For):
+        if s.var in params:
+            raise ElaborationError(
+                f"for-loop variable {s.var!r} collides with a parameter"
+            )
+        return A.For(
+            portmap.get(s.var, prefix + s.var),
+            _rename_expr(s.init, prefix, params, portmap),
+            _rename_expr(s.cond, prefix, params, portmap),
+            _rename_expr(s.step, prefix, params, portmap),
+            _rename_stmt(s.body, prefix, params, portmap),
+        )
+    raise ElaborationError(f"cannot rename statement {type(s).__name__}")
+
+
+def _rewrite_split_reads(
+    e: A.Expr,
+    splits: Dict[str, List[Tuple[int, int, str]]],
+    design: "FlatDesign",
+) -> A.Expr:
+    """Redirect constant selects of split signals to their piece wires."""
+    from repro.elaborate.constfold import try_const
+
+    def piece_for(name: str, lo: int, hi: int):
+        for plsb, pwidth, pname in splits.get(name, ()):
+            if plsb <= lo and hi < plsb + pwidth:
+                return plsb, pwidth, pname
+        return None
+
+    if isinstance(e, A.Index) and e.base in splits:
+        idx = try_const(e.index)
+        if idx is not None:
+            rel = idx - design.signals[e.base].lsb
+            hit = piece_for(e.base, rel, rel)
+            if hit is not None:
+                plsb, pwidth, pname = hit
+                if pwidth == 1 and rel == plsb:
+                    return A.Ident(pname)
+                return A.Index(pname, A.Number(rel - plsb, None))
+    if isinstance(e, A.PartSelect) and e.base in splits:
+        msb = try_const(e.msb)
+        lsb = try_const(e.lsb)
+        if msb is not None and lsb is not None:
+            off = design.signals[e.base].lsb
+            hit = piece_for(e.base, lsb - off, msb - off)
+            if hit is not None:
+                plsb, pwidth, pname = hit
+                lo = lsb - off - plsb
+                hi = msb - off - plsb
+                if lo == 0 and hi == pwidth - 1:
+                    return A.Ident(pname)
+                return A.PartSelect(pname, A.Number(hi, None), A.Number(lo, None))
+
+    # Recurse structurally.
+    if isinstance(e, A.Unary):
+        return A.Unary(e.op, _rewrite_split_reads(e.operand, splits, design))
+    if isinstance(e, A.Binary):
+        return A.Binary(
+            e.op,
+            _rewrite_split_reads(e.left, splits, design),
+            _rewrite_split_reads(e.right, splits, design),
+        )
+    if isinstance(e, A.Ternary):
+        return A.Ternary(
+            _rewrite_split_reads(e.cond, splits, design),
+            _rewrite_split_reads(e.then, splits, design),
+            _rewrite_split_reads(e.other, splits, design),
+        )
+    if isinstance(e, A.Concat):
+        return A.Concat([_rewrite_split_reads(p, splits, design) for p in e.parts])
+    if isinstance(e, A.Repeat):
+        return A.Repeat(e.count, _rewrite_split_reads(e.value, splits, design))
+    if isinstance(e, A.Index):
+        return A.Index(e.base, _rewrite_split_reads(e.index, splits, design),
+                       e.is_memory)
+    if isinstance(e, A.IndexedPartSelect):
+        return A.IndexedPartSelect(
+            e.base, _rewrite_split_reads(e.start, splits, design),
+            e.part_width, e.descending,
+        )
+    if isinstance(e, A.FuncCall):
+        return A.FuncCall(
+            e.name,
+            [_rewrite_split_reads(a, splits, design) for a in e.args],
+            e.resolved,
+        )
+    return e
+
+
+def _rewrite_split_stmt(s: A.Stmt, splits, design) -> A.Stmt:
+    """Statement-level companion of :func:`_rewrite_split_reads`.
+
+    Only *reads* are rewritten; assignment targets keep the full signal
+    (pieces are continuous-assign-driven, so procedural writes to a split
+    signal would be a multi-driver error anyway).
+    """
+    if isinstance(s, A.Block):
+        return A.Block([_rewrite_split_stmt(x, splits, design) for x in s.stmts])
+    if isinstance(s, A.BlockingAssign):
+        return A.BlockingAssign(s.lhs, _rewrite_split_reads(s.rhs, splits, design))
+    if isinstance(s, A.NonBlockingAssign):
+        return A.NonBlockingAssign(s.lhs, _rewrite_split_reads(s.rhs, splits, design))
+    if isinstance(s, A.If):
+        return A.If(
+            _rewrite_split_reads(s.cond, splits, design),
+            _rewrite_split_stmt(s.then, splits, design),
+            _rewrite_split_stmt(s.other, splits, design) if s.other else None,
+        )
+    if isinstance(s, A.Case):
+        return A.Case(
+            _rewrite_split_reads(s.subject, splits, design),
+            [
+                A.CaseItem(
+                    [_rewrite_split_reads(l, splits, design) for l in it.labels],
+                    _rewrite_split_stmt(it.body, splits, design),
+                )
+                for it in s.items
+            ],
+            s.casez,
+        )
+    if isinstance(s, A.For):
+        return A.For(
+            s.var,
+            _rewrite_split_reads(s.init, splits, design),
+            _rewrite_split_reads(s.cond, splits, design),
+            _rewrite_split_reads(s.step, splits, design),
+            _rewrite_split_stmt(s.body, splits, design),
+        )
+    return s
+
+
+# ---------------------------------------------------------------------------
+# Elaborator
+# ---------------------------------------------------------------------------
+
+
+class Elaborator:
+    def __init__(self, unit: A.SourceUnit):
+        self.unit = unit
+        self._tempno = 0
+
+    def elaborate(self, top: str) -> FlatDesign:
+        try:
+            module = self.unit.module(top)
+        except KeyError as exc:
+            raise ElaborationError(str(exc)) from exc
+        design = FlatDesign(top=top)
+        self._partials: List[Tuple[str, int, int, A.Expr]] = []
+        self._instantiate(design, module, prefix="", overrides={}, is_top=True, depth=0)
+        self._merge_partials(design)
+        design.assigns = [(lhs, fold_expr(rhs)) for lhs, rhs in design.assigns]
+        return design
+
+    def _merge_partials(self, design: FlatDesign) -> None:
+        """Resolve partial continuous drivers of a signal.
+
+        Bit/part-select targets with constant positions (common when an
+        instance output binds to ``s[0]``) are handled Verilator-style:
+
+        1. each driven range becomes its own *piece* wire,
+        2. the full signal is reassembled from the pieces (undriven bits
+           read zero), and
+        3. constant-position reads that fall inside one piece are rewired
+           to the piece directly (see ``_rewrite_split_reads``).
+
+        Step 3 is what breaks the classic false combinational loop of a
+        bit-sliced vector (a ripple-carry chain through one ``carry``
+        vector is acyclic bit by bit, but cyclic at whole-signal
+        granularity).
+        """
+        by_name: Dict[str, List[Tuple[int, int, A.Expr]]] = {}
+        for name, lsb, width, expr in self._partials:
+            by_name.setdefault(name, []).append((lsb, width, expr))
+        self._splits: Dict[str, List[Tuple[int, int, str]]] = {}
+        for name, pieces in by_name.items():
+            sig = design.signals[name]
+            covered = 0
+            for lsb, width, _ in pieces:
+                m = ((1 << width) - 1) << lsb
+                if lsb + width > sig.width:
+                    raise ElaborationError(
+                        f"partial driver of {name!r} exceeds its width"
+                    )
+                if covered & m:
+                    raise ElaborationError(
+                        f"overlapping partial drivers for {name!r}"
+                    )
+                covered |= m
+            split: List[Tuple[int, int, str]] = []
+            expr: Optional[A.Expr] = None
+            for lsb, width, piece in sorted(pieces, key=lambda p: p[0]):
+                pname = f"{name}${lsb}+{width}"
+                design.add_signal(Signal(pname, width, "wire"))
+                design.assigns.append((A.Ident(pname), piece))
+                split.append((lsb, width, pname))
+                masked = A.Binary(
+                    "&", A.Ident(pname), A.Number((1 << width) - 1, None)
+                )
+                shifted = (
+                    masked
+                    if lsb == 0
+                    else A.Binary("<<", masked, A.Number(lsb, None))
+                )
+                expr = shifted if expr is None else A.Binary("|", expr, shifted)
+            assert expr is not None
+            design.assigns.append((A.Ident(name), expr))
+            self._splits[name] = split
+        if self._splits:
+            self._apply_split_reads(design)
+
+    def _apply_split_reads(self, design: FlatDesign) -> None:
+        """Rewire constant-position reads of split signals to their pieces."""
+        splits = self._splits
+        design.assigns = [
+            (lhs, _rewrite_split_reads(rhs, splits, design))
+            for lhs, rhs in design.assigns
+        ]
+        for raw in design.always:
+            raw.body = _rewrite_split_stmt(raw.body, splits, design)
+        for fn in design.functions.values():
+            fn.body = _rewrite_split_stmt(fn.body, splits, design)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _fresh(self, base: str) -> str:
+        self._tempno += 1
+        return f"__t{self._tempno}_{base}"
+
+    def _resolve_params(self, module: A.Module, overrides: Dict[str, int]) -> Dict[str, int]:
+        env: Dict[str, int] = {}
+        for p in module.params():
+            if not p.local and p.name in overrides:
+                env[p.name] = overrides[p.name]
+            else:
+                env[p.name] = eval_const(p.value, env)
+        return env
+
+    def _range_width(self, rng: Optional[A.Range], params: Dict[str, int]) -> Tuple[int, int]:
+        """Return (width, lsb) for a declaration range."""
+        if rng is None:
+            return 1, 0
+        msb = eval_const(rng.msb, params)
+        lsb = eval_const(rng.lsb, params)
+        if lsb > msb:
+            raise UnsupportedFeatureError(
+                f"ascending ranges [{lsb}:{msb}] are not supported"
+            )
+        return msb - lsb + 1, lsb
+
+    # -- recursive instantiation ---------------------------------------------
+
+    def _instantiate(
+        self,
+        design: FlatDesign,
+        module: A.Module,
+        prefix: str,
+        overrides: Dict[str, int],
+        is_top: bool,
+        depth: int,
+        portmap: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Flatten one module instance into ``design``.
+
+        ``portmap`` maps child port names to already-declared flat parent
+        signals (Verilator-style port collapsing): aliased ports are not
+        declared and every reference is renamed to the parent signal.
+        This matters for correctness, not just speed — a child clock port
+        must *be* the parent clock signal, or its edges would be invisible
+        to the clock-domain edge detector.
+        """
+        portmap = portmap or {}
+        if depth > 64:
+            raise ElaborationError("instantiation too deep (recursive modules?)")
+        params = self._resolve_params(module, overrides)
+
+        # Expand generate regions first: each surviving item carries the
+        # parameter environment (with genvars bound) and the hierarchical
+        # scope ("blk[3].") its declarations live under.
+        expanded = self._expand_generates(module.items, params, "")
+
+        # Collect declarations first: ports may be declared before nets that
+        # share the name (non-ANSI style port + reg decl).
+        port_dirs: Dict[str, str] = {}
+        port_kinds: Dict[str, str] = {}
+        widths: Dict[str, Tuple[int, int]] = {}
+        memories: Dict[str, Tuple[int, int]] = {}
+        decls_by_scope: Dict[str, set] = {}
+
+        for env, scope, item in expanded:
+            if isinstance(item, A.PortDecl):
+                if scope:
+                    raise ElaborationError(
+                        f"port {item.name!r} declared inside a generate block"
+                    )
+                port_dirs[item.name] = item.direction
+                if item.kind == "reg":
+                    port_kinds[item.name] = "reg"
+                widths[item.name] = self._range_width(item.rng, env)
+            elif isinstance(item, A.NetDecl):
+                if not scope and item.name in port_dirs:
+                    # Non-ANSI style: `output q; reg q;` refines the kind.
+                    if item.kind == "reg":
+                        port_kinds[item.name] = "reg"
+                    continue
+                sname = scope + item.name
+                if sname in widths or sname in memories:
+                    raise ElaborationError(
+                        f"duplicate declaration of {prefix + sname!r}"
+                    )
+                decls_by_scope.setdefault(scope, set()).add(item.name)
+                if item.array is not None:
+                    w, _ = self._range_width(item.rng, env)
+                    amsb = eval_const(item.array.msb, env)
+                    alsb = eval_const(item.array.lsb, env)
+                    lo, hi = min(amsb, alsb), max(amsb, alsb)
+                    if lo != 0:
+                        raise UnsupportedFeatureError(
+                            f"memory {item.name!r} must be indexed from 0"
+                        )
+                    memories[sname] = (w, hi + 1)
+                else:
+                    widths[sname] = self._range_width(item.rng, env)
+                    if item.kind == "reg":
+                        port_kinds[sname] = "reg"
+
+        def scope_chain(scope: str) -> List[str]:
+            """Enclosing scopes, outermost first ("" -> "a[0]." -> ...)."""
+            chain = [""]
+            pos = 0
+            while True:
+                dot = scope.find(".", pos)
+                if dot < 0:
+                    break
+                chain.append(scope[: dot + 1])
+                pos = dot + 1
+            return chain
+
+        portmap_cache: Dict[str, Dict[str, str]] = {}
+
+        def portmap_for(scope: str) -> Dict[str, str]:
+            """Name resolution map for items in ``scope``: module portmap
+            overlaid by scoped declarations, inner scopes shadowing."""
+            if scope not in portmap_cache:
+                pm = dict(portmap)
+                for s in scope_chain(scope):
+                    for n in decls_by_scope.get(s, ()):
+                        if s:  # scope "" uses plain prefix+name (no entry)
+                            pm[n] = prefix + s + n
+                portmap_cache[scope] = pm
+            return portmap_cache[scope]
+
+        for name, (w, lsb) in widths.items():
+            if name in memories:
+                raise ElaborationError(f"{name!r} declared both as signal and memory")
+            if name in portmap:
+                # Collapsed port: the parent signal IS this port.
+                parent = design.signals[portmap[name]]
+                if parent.width != w:
+                    raise ElaborationError(
+                        f"internal: alias width mismatch on {prefix + name!r}"
+                    )
+                continue
+            if name in port_dirs:
+                kind = port_dirs[name] if is_top else port_kinds.get(name, "wire")
+            else:
+                kind = port_kinds.get(name, "wire")
+            design.add_signal(Signal(prefix + name, w, kind, lsb))
+        for name, (w, d) in memories.items():
+            if w > MAX_MEMORY_WIDTH:
+                raise WidthError(
+                    f"memory {name!r} element width {w} exceeds "
+                    f"{MAX_MEMORY_WIDTH}; split into parallel memories"
+                )
+            design.memories[prefix + name] = Memory(prefix + name, w, d)
+
+        # Functions: declare their formal/local/return signals (so widths
+        # are known at inlining time) and register the renamed bodies.
+        for env, scope, item in expanded:
+            if not isinstance(item, A.FuncDecl):
+                continue
+            if scope:
+                raise UnsupportedFeatureError(
+                    f"function {item.name!r} declared inside a generate "
+                    "block is not supported; declare it at module level"
+                )
+            key = prefix + item.name
+            if key in design.functions:
+                raise ElaborationError(f"duplicate function {key!r}")
+            ret = f"{key}.__ret"
+            rw, _ = self._range_width(item.rng, params)
+            design.add_signal(Signal(ret, rw, "wire"))
+            fmap: Dict[str, str] = {item.name: ret}
+            formals: List[str] = []
+            fwidths: List[int] = []
+            for aname, arng in item.inputs:
+                w, _ = self._range_width(arng, params)
+                flat = f"{key}.{aname}"
+                design.add_signal(Signal(flat, w, "wire"))
+                fmap[aname] = flat
+                formals.append(flat)
+                fwidths.append(w)
+            locals_: List[str] = []
+            for lname, lrng in item.locals_:
+                w, _ = self._range_width(lrng, params)
+                flat = f"{key}.{lname}"
+                design.add_signal(Signal(flat, w, "wire"))
+                fmap[lname] = flat
+                locals_.append(flat)
+            body = _rename_stmt(item.body, prefix, params, {**portmap, **fmap})
+            design.functions[key] = FlatFunc(
+                key, ret, rw, formals, fwidths, locals_, body
+            )
+
+        for env, scope, item in expanded:
+            if isinstance(item, (A.PortDecl, A.NetDecl, A.ParamDecl, A.FuncDecl)):
+                continue
+            pm = portmap_for(scope)
+            if isinstance(item, A.ContinuousAssign):
+                lhs = _rename_expr(item.lhs, prefix, env, pm)
+                rhs = _rename_expr(item.rhs, prefix, env, pm)
+                self._add_assign(design, lhs, rhs)
+            elif isinstance(item, A.Always):
+                events = [
+                    A.EdgeEvent(ev.edge, pm.get(ev.signal, prefix + ev.signal))
+                    for ev in item.events
+                ]
+                body = _rename_stmt(item.body, prefix, env, pm)
+                design.always.append(RawAlways(events, body))
+            elif isinstance(item, A.Instance):
+                scoped = item
+                if scope:
+                    scoped = A.Instance(
+                        item.module, scope + item.name, item.connections,
+                        item.param_overrides, item.by_order,
+                    )
+                self._instantiate_cell(
+                    design, module, scoped, prefix, env, depth, pm
+                )
+            else:  # pragma: no cover - parser prevents this
+                raise ElaborationError(f"unknown module item {type(item).__name__}")
+
+    _MAX_GENERATE = 4096
+
+    def _expand_generates(
+        self,
+        items: List[A.ModuleItem],
+        env: Dict[str, int],
+        scope: str,
+    ) -> List[Tuple[Dict[str, int], str, A.ModuleItem]]:
+        """Flatten generate regions into (env, scope, item) triples."""
+        out: List[Tuple[Dict[str, int], str, A.ModuleItem]] = []
+        for item in items:
+            if isinstance(item, A.GenvarDecl):
+                continue
+            if isinstance(item, A.GenerateFor):
+                value = eval_const(item.init, env)
+                iters = 0
+                while True:
+                    it_env = dict(env)
+                    it_env[item.var] = value
+                    if not eval_const(item.cond, it_env):
+                        break
+                    inner = f"{scope}{item.label}[{value}]."
+                    out.extend(
+                        self._expand_generates(item.items, it_env, inner)
+                    )
+                    value = eval_const(item.step, it_env)
+                    iters += 1
+                    if iters > self._MAX_GENERATE:
+                        raise ElaborationError(
+                            f"generate-for over {item.var!r} exceeds "
+                            f"{self._MAX_GENERATE} iterations"
+                        )
+                continue
+            if isinstance(item, A.GenerateIf):
+                chosen = (
+                    item.then_items
+                    if eval_const(item.cond, env)
+                    else item.else_items
+                )
+                inner = f"{scope}{item.label}." if item.label else scope
+                out.extend(self._expand_generates(chosen, dict(env), inner))
+                continue
+            out.append((env, scope, item))
+        return out
+
+    def _instantiate_cell(
+        self,
+        design: FlatDesign,
+        parent: A.Module,
+        inst: A.Instance,
+        prefix: str,
+        params: Dict[str, int],
+        depth: int,
+        parent_portmap: Dict[str, str],
+    ) -> None:
+        try:
+            child = self.unit.module(inst.module)
+        except KeyError:
+            raise ElaborationError(
+                f"instance {prefix + inst.name!r} references unknown module "
+                f"{inst.module!r}"
+            )
+        design.n_cells += 1
+        child_prefix = prefix + inst.name + "."
+        overrides = {
+            k: eval_const(_rename_expr(v, prefix, params, parent_portmap), {})
+            for k, v in inst.param_overrides.items()
+        }
+
+        # Build the connection map port -> parent-namespace expression.
+        conns: Dict[str, Optional[A.Expr]] = {}
+        if inst.by_order is not None:
+            if len(inst.by_order) > len(child.port_order):
+                raise ElaborationError(
+                    f"instance {inst.name!r}: too many positional connections"
+                )
+            for pname, expr in zip(child.port_order, inst.by_order):
+                conns[pname] = expr
+        else:
+            conns = dict(inst.connections)
+
+        child_ports = {p.name: p for p in child.ports()}
+        for pname in conns:
+            if pname not in child_ports:
+                raise ElaborationError(
+                    f"instance {inst.name!r}: module {child.name!r} has no port "
+                    f"{pname!r}"
+                )
+
+        # Decide which ports collapse into the parent signal (connection is
+        # a plain identifier of equal width) versus which keep a binding
+        # assign.  Collapsing is required for clocks and reduces the flat
+        # graph for everything else.
+        child_params = self._resolve_params(child, overrides)
+        alias: Dict[str, str] = {}
+        assigns: List[Tuple[A.PortDecl, A.Expr]] = []
+        for pname, port in child_ports.items():
+            expr = conns.get(pname)
+            if expr is None:
+                if port.direction == "input":
+                    # Unconnected input: tie to zero.
+                    assigns.append((port, A.Number(0, None)))
+                continue
+            bound = _rename_expr(expr, prefix, params, parent_portmap)
+            pwidth, _ = self._range_width(port.rng, child_params)
+            if (
+                isinstance(bound, A.Ident)
+                and bound.name in design.signals
+                and design.signals[bound.name].width == pwidth
+            ):
+                alias[pname] = bound.name
+            else:
+                assigns.append((port, bound))
+
+        # Recurse so child signals exist before we bind the leftovers.
+        self._instantiate(
+            design, child, child_prefix, overrides, is_top=False,
+            depth=depth + 1, portmap=alias,
+        )
+
+        for port, bound in assigns:
+            flat_port = child_prefix + port.name
+            if port.direction == "input":
+                self._add_assign(design, A.Ident(flat_port), bound)
+            else:  # output
+                self._add_assign(design, bound, A.Ident(flat_port))
+
+    # -- assign splitting -----------------------------------------------------
+
+    def _add_assign(self, design: FlatDesign, lhs: A.Expr, rhs: A.Expr) -> None:
+        """Record a continuous assignment, splitting concat l-values.
+
+        ``assign {co, s} = a + b;`` becomes a fresh wire for the RHS plus a
+        part-select assignment per concat element.
+        """
+        if isinstance(lhs, A.Concat):
+            widths = [self._lvalue_width(design, p) for p in lhs.parts]
+            total = sum(widths)
+            tmp = self._fresh("cat")
+            design.add_signal(Signal(tmp, total, "wire"))
+            design.assigns.append((A.Ident(tmp), rhs))
+            # MSB-first: the first concat part takes the top bits.
+            pos = total
+            for part, w in zip(lhs.parts, widths):
+                pos -= w
+                sel = A.PartSelect(tmp, A.Number(pos + w - 1), A.Number(pos))
+                self._add_assign(design, part, sel)
+            return
+        if isinstance(lhs, A.Index) and lhs.base in design.memories:
+            raise UnsupportedFeatureError(
+                "memories cannot be driven by continuous assigns"
+            )
+        if isinstance(lhs, A.PartSelect):
+            sig = design.signals[lhs.base]
+            msb = eval_const(lhs.msb) - sig.lsb
+            lsb = eval_const(lhs.lsb) - sig.lsb
+            self._partials.append((lhs.base, lsb, msb - lsb + 1, rhs))
+            return
+        if isinstance(lhs, A.IndexedPartSelect):
+            sig = design.signals[lhs.base]
+            w = eval_const(lhs.part_width)
+            start = eval_const(lhs.start)
+            lsb = (start - w + 1 if lhs.descending else start) - sig.lsb
+            self._partials.append((lhs.base, lsb, w, rhs))
+            return
+        if isinstance(lhs, A.Index):
+            sig = design.signals[lhs.base]
+            idx = eval_const(lhs.index) - sig.lsb
+            self._partials.append((lhs.base, idx, 1, rhs))
+            return
+        if not isinstance(lhs, A.Ident):
+            raise ElaborationError(f"invalid assign target {type(lhs).__name__}")
+        design.assigns.append((lhs, rhs))
+
+    def _lvalue_width(self, design: FlatDesign, lv: A.Expr) -> int:
+        if isinstance(lv, A.Ident):
+            return design.width_of(lv.name)
+        if isinstance(lv, A.Index):
+            return 1
+        if isinstance(lv, A.PartSelect):
+            return eval_const(lv.msb) - eval_const(lv.lsb) + 1
+        if isinstance(lv, A.IndexedPartSelect):
+            return eval_const(lv.part_width)
+        if isinstance(lv, A.Concat):
+            return sum(self._lvalue_width(design, p) for p in lv.parts)
+        raise ElaborationError(f"invalid l-value {type(lv).__name__}")
+
+
+def elaborate(unit: A.SourceUnit, top: str) -> FlatDesign:
+    """Flatten ``unit`` under top module ``top``."""
+    return Elaborator(unit).elaborate(top)

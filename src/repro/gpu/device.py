@@ -1,0 +1,146 @@
+"""The simulated GPU device.
+
+Stands in for the A6000 of the paper's experiments (see the substitution
+table in DESIGN.md).  Kernels are vectorized numpy callables; the device
+
+* executes them while accounting *busy time* (for the GPU-utilization
+  figures 2 and 15),
+* charges a modeled per-CUDA-call overhead in *virtual time* (the Fig. 9
+  cost the stream-based executor accumulates and CUDA Graph removes), and
+* counts launches, event operations and synchronizations so experiments
+  can report exactly which overheads the execution strategy removed.
+
+The per-launch Python dispatch cost is itself real, so wall-clock
+comparisons between the stream and graph executors show the same *shape*
+as the paper's Table 4 even before virtual-time accounting is added.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.gpu.timeline import Tracer
+
+# Defaults are in the ballpark of measured CUDA driver costs: a few
+# microseconds per kernel launch / event op, slightly more for a whole
+# cudaGraphLaunch.
+DEFAULT_KERNEL_LAUNCH_US = 4.0
+DEFAULT_EVENT_OP_US = 1.5
+DEFAULT_GRAPH_LAUNCH_US = 6.0
+DEFAULT_SYNC_US = 3.0
+
+
+@dataclass
+class DeviceStats:
+    kernel_launches: int = 0
+    graph_launches: int = 0
+    event_ops: int = 0
+    sync_calls: int = 0
+    busy_seconds: float = 0.0  # time spent inside kernel bodies
+    overhead_seconds: float = 0.0  # modeled CUDA-call overhead (virtual)
+
+    def reset(self) -> None:
+        self.kernel_launches = 0
+        self.graph_launches = 0
+        self.event_ops = 0
+        self.sync_calls = 0
+        self.busy_seconds = 0.0
+        self.overhead_seconds = 0.0
+
+    @property
+    def total_device_seconds(self) -> float:
+        """Busy plus modeled overhead: the simulated-device elapsed time."""
+        return self.busy_seconds + self.overhead_seconds
+
+
+class SimulatedDevice:
+    """Executes kernels and accounts for launch overheads and busy time."""
+
+    def __init__(
+        self,
+        kernel_launch_us: float = DEFAULT_KERNEL_LAUNCH_US,
+        event_op_us: float = DEFAULT_EVENT_OP_US,
+        graph_launch_us: float = DEFAULT_GRAPH_LAUNCH_US,
+        sync_us: float = DEFAULT_SYNC_US,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.kernel_launch_s = kernel_launch_us * 1e-6
+        self.event_op_s = event_op_us * 1e-6
+        self.graph_launch_s = graph_launch_us * 1e-6
+        self.sync_s = sync_us * 1e-6
+        self.stats = DeviceStats()
+        self.tracer = tracer or Tracer(enabled=False)
+        self._lock = threading.RLock()
+
+    # -- primitive operations ---------------------------------------------------
+
+    def launch(self, kernel: Callable, args: tuple, stream: str = "s0") -> None:
+        """Launch one kernel through a stream (one CUDA call)."""
+        with self._lock:
+            self.stats.kernel_launches += 1
+            self.stats.overhead_seconds += self.kernel_launch_s
+            t0 = time.perf_counter()
+            with self.tracer.span(f"GPU:{stream}", getattr(kernel, "__name__", "k")):
+                kernel(*args)
+            self.stats.busy_seconds += time.perf_counter() - t0
+
+    def launch_graph(self, kernels: Sequence[Callable], args: tuple) -> None:
+        """Replay an instantiated graph: one CUDA call for all kernels."""
+        with self._lock:
+            self.stats.graph_launches += 1
+            self.stats.overhead_seconds += self.graph_launch_s
+            t0 = time.perf_counter()
+            with self.tracer.span("GPU", "cudaGraphLaunch"):
+                for k in kernels:
+                    k(*args)
+            self.stats.busy_seconds += time.perf_counter() - t0
+
+    def record_event(self) -> "DeviceEvent":
+        with self._lock:
+            self.stats.event_ops += 1
+            self.stats.overhead_seconds += self.event_op_s
+        return DeviceEvent()
+
+    def wait_event(self, event: "DeviceEvent") -> None:
+        with self._lock:
+            self.stats.event_ops += 1
+            self.stats.overhead_seconds += self.event_op_s
+        event.synchronize()
+
+    def synchronize(self) -> None:
+        with self._lock:
+            self.stats.sync_calls += 1
+            self.stats.overhead_seconds += self.sync_s
+
+    # -- reporting ---------------------------------------------------------------
+
+    def utilization(self, wall_seconds: float) -> float:
+        """Busy fraction of a wall-clock window (nvidia-smi style)."""
+        if wall_seconds <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_seconds / wall_seconds)
+
+    def reset(self) -> None:
+        self.stats.reset()
+
+
+class DeviceEvent:
+    """A CUDA-event stand-in: pure bookkeeping (dependencies are enforced
+    by the executor's serial schedule; the cost of creating/waiting on the
+    event is what the stream executor pays repeatedly)."""
+
+    __slots__ = ("completed",)
+
+    def __init__(self) -> None:
+        self.completed = False
+
+    def complete(self) -> None:
+        self.completed = True
+
+    def synchronize(self) -> None:
+        # The simulated device executes kernels synchronously, so by the
+        # time anything waits the producer already ran.
+        self.completed = True

@@ -1,0 +1,60 @@
+"""CUDA-Graph-style execution (§3.2.2, Fig. 9b).
+
+The task graph is *instantiated once* into an executable plan — a flat,
+dependency-respecting kernel order (plus optional whole-graph fusion into
+a single kernel, the strongest form of the "whole-graph optimizations the
+CUDA runtime can perform").  Each evaluation then replays the plan with a
+single launch call, eliminating the per-kernel stream/event bookkeeping
+the stream executor re-pays every cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+
+from repro.gpu.device import SimulatedDevice
+
+if TYPE_CHECKING:  # type-only: avoids a core <-> gpu import cycle
+    from repro.core.codegen import CompiledModel
+    from repro.core.memory import DeviceArrays
+
+
+class CudaGraphExecutor:
+    """Define-once-run-repeatedly executor."""
+
+    name = "graph"
+
+    def __init__(
+        self,
+        model: CompiledModel,
+        device: SimulatedDevice,
+        fused: bool = False,
+    ):
+        self.model = model
+        self.device = device
+        self.fused = fused
+        # --- cudaGraphInstantiate analog: done exactly once -------------
+        if fused:
+            self._comb_plan: List[Callable] = [model.fused_comb]
+            self._seq_plans: Dict[Tuple[str, str], List[Callable]] = {
+                dom: [fn] for dom, fn in model.fused_seq.items()
+            }
+        else:
+            self._comb_plan = [model.task_fns[t] for t in model.comb_schedule()]
+            self._seq_plans = {
+                dom: [model.task_fns[t] for t in model.seq_schedule(*dom)]
+                for dom in model.clock_domains()
+            }
+
+    def run_comb(self, arrays: DeviceArrays) -> None:
+        if self._comb_plan:
+            self.device.launch_graph(self._comb_plan, self._args(arrays))
+
+    def run_seq(self, arrays: DeviceArrays, clock: str, edge: str) -> None:
+        plan = self._seq_plans.get((clock, edge))
+        if plan:
+            self.device.launch_graph(plan, self._args(arrays))
+
+    def _args(self, arrays: DeviceArrays) -> tuple:
+        p = arrays.pools
+        return (p[0], p[1], p[2], p[3], arrays.n, arrays.lane)

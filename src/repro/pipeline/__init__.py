@@ -1,0 +1,5 @@
+"""Pipeline scheduling across stimulus groups (§3.2.3)."""
+
+from repro.pipeline.scheduler import PipelineSimulator, PipelineReport
+
+__all__ = ["PipelineSimulator", "PipelineReport"]

@@ -1,0 +1,276 @@
+"""The pipeline scheduling algorithm (§3.2.3, Fig. 11).
+
+Batch stimulus is partitioned into *groups*; each group advances through
+its own (set_inputs → evaluate) chain cycle by cycle.  Groups share no
+state, so while the device evaluates group G1's cycle, CPU workers can
+already be decoding and setting inputs for G2's — the inter-stimulus
+parallelism that keeps the GPU from idling on the Fig. 2 bottleneck.
+
+Concretely, one worker thread per group runs the group's chain; the
+CPU-side stage is bounded by a semaphore of ``cpu_workers`` slots and the
+device serializes evaluations internally (one GPU).  With ``pipeline=
+False`` the scheduler degrades to the RTLflow^-p baseline of Table 5: per
+cycle, set inputs for *all* groups (optionally with a thread pool — the
+paper's "use OpenMP to parallelize set_inputs" fairness note), then
+evaluate all groups.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.codegen import CompiledModel
+from repro.core.simulator import BatchSimulator
+from repro.gpu.device import SimulatedDevice
+from repro.gpu.timeline import Tracer
+from repro.utils.errors import SimulationError
+
+
+@dataclass
+class PipelineReport:
+    """What one run measured (feeds Tables 5 and Figs. 2/15/16)."""
+
+    wall_seconds: float = 0.0
+    set_inputs_seconds: float = 0.0  # summed over CPU workers
+    evaluate_seconds: float = 0.0  # device busy time
+    gpu_utilization: float = 0.0
+    groups: int = 0
+    cycles: int = 0
+    n: int = 0
+    pipelined: bool = True
+    # Filled by run_virtual(): virtual-time makespans of both schedules
+    # computed from measured stage durations (see pipeline.virtualtime).
+    virtual: bool = False
+    pipelined_makespan: float = 0.0
+    sequential_makespan: float = 0.0
+    pipelined_utilization: float = 0.0
+    sequential_utilization: float = 0.0
+    # Measured per-(group, cycle) stage durations (set by run_virtual);
+    # used to re-render the Fig. 16 timelines from real data.
+    cpu_stage_seconds: Optional[np.ndarray] = None
+    gpu_stage_seconds: Optional[np.ndarray] = None
+
+
+class PipelineSimulator:
+    """Multi-group batch simulation with optional CPU/GPU pipelining."""
+
+    def __init__(
+        self,
+        model: CompiledModel,
+        n: int,
+        groups: int = 4,
+        cpu_workers: int = 4,
+        executor: str = "graph",
+        device: Optional[SimulatedDevice] = None,
+        pipeline: bool = True,
+        tracer: Optional[Tracer] = None,
+    ):
+        if groups <= 0 or n % groups != 0:
+            raise SimulationError(
+                f"group count {groups} must divide the batch size {n}"
+            )
+        self.model = model
+        self.n = n
+        self.groups = groups
+        self.group_size = n // groups
+        self.cpu_workers = max(1, cpu_workers)
+        self.pipeline = pipeline
+        self.tracer = tracer or Tracer(enabled=False)
+        self.device = device or SimulatedDevice(tracer=self.tracer)
+        self.sims: List[BatchSimulator] = [
+            BatchSimulator(model, self.group_size, executor=executor, device=self.device)
+            for _ in range(groups)
+        ]
+        self.report = PipelineReport(groups=groups, n=n, pipelined=pipeline)
+
+    # -- state helpers ------------------------------------------------------------
+
+    def load_memory(self, name: str, values, lane: Optional[int] = None) -> None:
+        if lane is None:
+            for sim in self.sims:
+                sim.load_memory(name, values)
+            return
+        g, off = divmod(lane, self.group_size)
+        self.sims[g].load_memory(name, values, lane=off)
+
+    def get(self, name: str) -> np.ndarray:
+        """Gathered batch values of a signal across all groups."""
+        return np.concatenate([sim.get(name) for sim in self.sims])
+
+    def read_memory(self, name: str, lane: int) -> np.ndarray:
+        g, off = divmod(lane, self.group_size)
+        return self.sims[g].read_memory(name, lane=off)
+
+    # -- the run loop ----------------------------------------------------------------
+
+    def run(
+        self,
+        stim,
+        cycles: Optional[int] = None,
+        watch: Optional[Sequence[str]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Simulate ``cycles`` of the batch stimulus; returns final values.
+
+        ``stim`` needs ``inputs_at_range(cycle, lo, hi)`` — both
+        :class:`StimulusBatch` and :class:`TextStimulusBatch` qualify.
+        """
+        total = cycles if cycles is not None else len(stim)
+        names = list(watch) if watch is not None else [
+            s.name for s in self.model.design.outputs
+        ]
+        self.device.reset()
+        set_inputs_time = [0.0] * self.groups
+
+        t0 = time.perf_counter()
+        if self.pipeline:
+            self._run_pipelined(stim, total, set_inputs_time)
+        else:
+            self._run_sequential(stim, total, set_inputs_time)
+        wall = time.perf_counter() - t0
+
+        r = self.report
+        r.wall_seconds = wall
+        r.set_inputs_seconds = sum(set_inputs_time)
+        r.evaluate_seconds = self.device.stats.busy_seconds
+        r.gpu_utilization = self.device.utilization(wall)
+        r.cycles = total
+        return {name: self.get(name) for name in names}
+
+    def _set_inputs_group(self, g: int, stim, cycle: int, acc: List[float]) -> None:
+        lo = g * self.group_size
+        hi = lo + self.group_size
+        t0 = time.perf_counter()
+        with self.tracer.span(f"CPU{g % self.cpu_workers}", f"set_inputs g{g} c{cycle}"):
+            values = stim.inputs_at_range(cycle, lo, hi)
+            self.sims[g].set_inputs(values)
+        acc[g] += time.perf_counter() - t0
+
+    def _evaluate_group(self, g: int, cycle: int) -> None:
+        sim = self.sims[g]
+        sim.set_clock(0)
+        sim.evaluate()
+        sim.set_clock(1)
+        sim.evaluate()
+
+    def _run_pipelined(self, stim, total: int, acc: List[float]) -> None:
+        cpu_slots = threading.Semaphore(self.cpu_workers)
+        errors: List[BaseException] = []
+
+        def group_chain(g: int) -> None:
+            try:
+                for c in range(total):
+                    if c < len(stim):
+                        with cpu_slots:
+                            self._set_inputs_group(g, stim, c, acc)
+                    # The device serializes internally: this models one GPU
+                    # accepting work from whichever group is ready first.
+                    self._evaluate_group(g, c)
+            except BaseException as exc:  # noqa: BLE001 - propagate to caller
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=group_chain, args=(g,), name=f"group{g}")
+            for g in range(self.groups)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+
+    def run_virtual(
+        self,
+        stim,
+        cycles: Optional[int] = None,
+        watch: Optional[Sequence[str]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Measure every stage, then model the schedule in virtual time.
+
+        Executes the whole batch sequentially (results are exact), records
+        each (group, cycle) set_inputs and evaluate duration, and computes
+        the makespans of both the pipelined and the RTLflow^-p schedule
+        with the discrete-event model in :mod:`repro.pipeline.virtualtime`.
+        Used on hosts without real parallelism (see DESIGN.md §2).
+        """
+        from repro.pipeline.virtualtime import (
+            makespan_pipelined,
+            makespan_sequential,
+        )
+
+        total = cycles if cycles is not None else len(stim)
+        names = list(watch) if watch is not None else [
+            s.name for s in self.model.design.outputs
+        ]
+        self.device.reset()
+        cpu_t = np.zeros((self.groups, total))
+        gpu_t = np.zeros((self.groups, total))
+        for c in range(total):
+            for g in range(self.groups):
+                if c < len(stim):
+                    lo = g * self.group_size
+                    t0 = time.perf_counter()
+                    values = stim.inputs_at_range(c, lo, lo + self.group_size)
+                    self.sims[g].set_inputs(values)
+                    cpu_t[g, c] = time.perf_counter() - t0
+                busy0 = self.device.stats.busy_seconds
+                over0 = self.device.stats.overhead_seconds
+                self._evaluate_group(g, c)
+                # Device time for this evaluation: kernel busy time plus the
+                # modeled launch overhead it incurred.
+                gpu_t[g, c] = (
+                    self.device.stats.busy_seconds - busy0
+                ) + (self.device.stats.overhead_seconds - over0)
+        pipe = makespan_pipelined(cpu_t, gpu_t, self.cpu_workers)
+        seq = makespan_sequential(cpu_t, gpu_t, self.cpu_workers)
+        r = self.report
+        r.virtual = True
+        r.cycles = total
+        r.cpu_stage_seconds = cpu_t
+        r.gpu_stage_seconds = gpu_t
+        r.set_inputs_seconds = float(cpu_t.sum())
+        r.evaluate_seconds = float(gpu_t.sum())
+        r.pipelined_makespan = pipe.makespan
+        r.sequential_makespan = seq.makespan
+        r.pipelined_utilization = pipe.gpu_utilization
+        r.sequential_utilization = seq.gpu_utilization
+        if self.pipeline:
+            r.wall_seconds = pipe.makespan
+            r.gpu_utilization = pipe.gpu_utilization
+        else:
+            r.wall_seconds = seq.makespan
+            r.gpu_utilization = seq.gpu_utilization
+        return {name: self.get(name) for name in names}
+
+    def _run_sequential(self, stim, total: int, acc: List[float]) -> None:
+        # RTLflow^-p: the GPU waits for set_inputs of the whole batch each
+        # cycle.  set_inputs itself may use a thread pool (fairness).
+        pool = (
+            ThreadPoolExecutor(max_workers=self.cpu_workers)
+            if self.cpu_workers > 1
+            else None
+        )
+        try:
+            for c in range(total):
+                if c < len(stim):
+                    if pool is not None:
+                        futures = [
+                            pool.submit(self._set_inputs_group, g, stim, c, acc)
+                            for g in range(self.groups)
+                        ]
+                        for f in futures:
+                            f.result()
+                    else:
+                        for g in range(self.groups):
+                            self._set_inputs_group(g, stim, c, acc)
+                for g in range(self.groups):
+                    self._evaluate_group(g, c)
+        finally:
+            if pool is not None:
+                pool.shutdown()

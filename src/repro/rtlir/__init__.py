@@ -1,0 +1,19 @@
+"""RTL intermediate representation: the directed "RTL graph" of §2.
+
+Nodes are logic elements (one combinational assignment, one register
+update, or one guarded memory write each); edges are signal dependencies.
+This is the structure the paper partitions into macro tasks.
+"""
+
+from repro.rtlir.graph import RtlGraph, RtlNode, NodeKind
+from repro.rtlir.build import build_graph
+from repro.rtlir.levelize import levelize, find_comb_cycle
+
+__all__ = [
+    "RtlGraph",
+    "RtlNode",
+    "NodeKind",
+    "build_graph",
+    "levelize",
+    "find_comb_cycle",
+]

@@ -1,0 +1,89 @@
+"""Topological levelization of the combinational DAG.
+
+Full-cycle simulation needs the comb assignments in dependency order so a
+single straight-line pass settles the design (§2.2).  A cycle among comb
+nodes means a combinational loop (or an inferred latch), which the paper's
+flow — like Verilator — rejects.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set
+
+from repro.utils.errors import ElaborationError
+
+
+def levelize(
+    nids: List[int], preds: Dict[int, Set[int]], succs: Dict[int, Set[int]]
+):
+    """Return (topo_order, levels) for the node ids in ``nids``.
+
+    ``levels[i]`` holds the nodes whose longest path from any source has
+    length i; nodes within a level are mutually independent (the paper's
+    kernel-concurrency opportunity in Fig. 14).
+    """
+    indeg = {n: len(preds.get(n, ())) for n in nids}
+    level: Dict[int, int] = {}
+    queue = deque(n for n in nids if indeg[n] == 0)
+    for n in queue:
+        level[n] = 0
+    order: List[int] = []
+    while queue:
+        n = queue.popleft()
+        order.append(n)
+        for s in succs.get(n, ()):
+            indeg[s] -= 1
+            level[s] = max(level.get(s, 0), level[n] + 1)
+            if indeg[s] == 0:
+                queue.append(s)
+    if len(order) != len(nids):
+        raise ElaborationError(
+            "combinational loop detected among "
+            f"{len(nids) - len(order)} node(s); see find_comb_cycle()"
+        )
+    nlevels = max(level.values()) + 1 if level else 0
+    levels: List[List[int]] = [[] for _ in range(nlevels)]
+    for n in order:
+        levels[level[n]].append(n)
+    return order, levels
+
+
+def find_comb_cycle(
+    nids: List[int], preds: Dict[int, Set[int]], succs: Dict[int, Set[int]]
+) -> Optional[List[int]]:
+    """Return one cycle (list of node ids) if the graph has one, else None.
+
+    Used to produce actionable diagnostics naming the looping signals.
+    """
+    color: Dict[int, int] = {n: 0 for n in nids}  # 0 white, 1 grey, 2 black
+    parent: Dict[int, int] = {}
+
+    for root in nids:
+        if color[root] != 0:
+            continue
+        stack = [(root, iter(succs.get(root, ())))]
+        color[root] = 1
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for s in it:
+                if color.get(s, 2) == 0:
+                    color[s] = 1
+                    parent[s] = node
+                    stack.append((s, iter(succs.get(s, ()))))
+                    advanced = True
+                    break
+                if color.get(s) == 1:
+                    # Found a back edge: unwind the cycle.
+                    cycle = [s, node]
+                    cur = node
+                    while cur != s and cur in parent:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                color[node] = 2
+                stack.pop()
+    return None

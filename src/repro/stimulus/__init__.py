@@ -1,0 +1,28 @@
+"""Stimulus generation, file format and batch packing.
+
+A *stimulus* is a per-cycle sequence of input values for the DUT; a
+*batch* is N of them simulated simultaneously (the paper's headline
+workload).  The text file format mimics the per-stimulus files an
+industrial flow reads, so the CPU-side ``set_inputs`` cost — the Fig. 2
+bottleneck the pipeline scheduler overlaps — is real decode work.
+"""
+
+from repro.stimulus.format import (
+    write_stimulus_file,
+    read_stimulus_file,
+    encode_stimulus_text,
+    decode_stimulus_text,
+)
+from repro.stimulus.batch import StimulusBatch, TextStimulusBatch
+from repro.stimulus.generator import random_batch, directed_batch
+
+__all__ = [
+    "write_stimulus_file",
+    "read_stimulus_file",
+    "encode_stimulus_text",
+    "decode_stimulus_text",
+    "StimulusBatch",
+    "TextStimulusBatch",
+    "random_batch",
+    "directed_batch",
+]

@@ -1,0 +1,172 @@
+"""Batch stimulus containers.
+
+:class:`StimulusBatch` holds decoded arrays (cycles, N) per input — the
+fast path.  :class:`TextStimulusBatch` keeps the raw per-stimulus text and
+decodes lazily per (cycle, lane-range); its decode cost is the realistic
+CPU-side ``set_inputs`` work of Fig. 2 that the pipeline scheduler (§3.2.3)
+overlaps with GPU evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.stimulus.format import decode_stimulus_text, encode_stimulus_text
+from repro.utils.errors import SimulationError
+
+
+class StimulusBatch:
+    """Decoded batch stimulus: per input, an array of shape (cycles, N)."""
+
+    def __init__(self, data: Mapping[str, np.ndarray]):
+        if not data:
+            raise SimulationError("empty stimulus batch")
+        shapes = {np.asarray(v).shape for v in data.values()}
+        if len(shapes) != 1:
+            raise SimulationError(f"inconsistent stimulus shapes: {shapes}")
+        (shape,) = shapes
+        if len(shape) != 2:
+            raise SimulationError("stimulus arrays must be (cycles, N)")
+        # Wide (>64-bit) input values keep Python-int object columns.
+        self.data: Dict[str, np.ndarray] = {}
+        for k, v in data.items():
+            arr = np.asarray(v)
+            if arr.dtype == object:
+                self.data[k] = arr
+            else:
+                self.data[k] = np.ascontiguousarray(arr, dtype=np.uint64)
+        self.cycles, self.n = shape
+
+    def __len__(self) -> int:
+        return self.cycles
+
+    @property
+    def names(self) -> List[str]:
+        return list(self.data)
+
+    def inputs_at(self, cycle: int) -> Dict[str, np.ndarray]:
+        return {k: v[cycle] for k, v in self.data.items()}
+
+    def inputs_at_range(self, cycle: int, lo: int, hi: int) -> Dict[str, np.ndarray]:
+        """Inputs for one stimulus group (lanes [lo, hi))."""
+        return {k: v[cycle, lo:hi] for k, v in self.data.items()}
+
+    def lane(self, i: int) -> List[Dict[str, int]]:
+        """One stimulus as per-cycle dicts (for the scalar engines)."""
+        return [
+            {k: int(v[c, i]) for k, v in self.data.items()}
+            for c in range(self.cycles)
+        ]
+
+    def lanes(self, lo: int, hi: int) -> "StimulusBatch":
+        return StimulusBatch({k: v[:, lo:hi] for k, v in self.data.items()})
+
+    def to_texts(self) -> List[str]:
+        """Encode each lane as a stimulus file text."""
+        names = self.names
+        out = []
+        for i in range(self.n):
+            rows = [
+                [int(self.data[k][c, i]) for k in names]
+                for c in range(self.cycles)
+            ]
+            out.append(encode_stimulus_text(names, rows))
+        return out
+
+    @classmethod
+    def from_texts(cls, texts: Sequence[str]) -> "StimulusBatch":
+        """Decode N stimulus files into a batch (they must agree on shape)."""
+        if not texts:
+            raise SimulationError("no stimulus texts")
+        names0: Optional[List[str]] = None
+        columns: List[np.ndarray] = []
+        for t in texts:
+            names, values = decode_stimulus_text(t)
+            if names0 is None:
+                names0 = names
+            elif names != names0:
+                raise SimulationError("stimulus files disagree on input names")
+            columns.append(values)
+        cyc = {c.shape[0] for c in columns}
+        if len(cyc) != 1:
+            raise SimulationError("stimulus files disagree on cycle count")
+        stacked = np.stack(columns, axis=-1)  # (cycles, inputs, N)
+        assert names0 is not None
+        return cls({name: stacked[:, j, :] for j, name in enumerate(names0)})
+
+    @classmethod
+    def from_lane_dicts(cls, lanes: Sequence[Sequence[Mapping[str, int]]]) -> "StimulusBatch":
+        """Build a batch from per-lane lists of per-cycle dicts."""
+        if not lanes:
+            raise SimulationError("no lanes")
+        cycles = len(lanes[0])
+        names = list(lanes[0][0].keys()) if cycles else []
+        data = {
+            k: np.zeros((cycles, len(lanes)), dtype=np.uint64) for k in names
+        }
+        for i, lane in enumerate(lanes):
+            if len(lane) != cycles:
+                raise SimulationError("lanes disagree on cycle count")
+            for c, step in enumerate(lane):
+                for k in names:
+                    data[k][c, i] = step[k]
+        return cls(data)
+
+
+class TextStimulusBatch:
+    """Batch stimulus kept as raw text, decoded lane by lane on demand.
+
+    ``inputs_at_range`` performs the actual hex parsing for the requested
+    lanes at the requested cycle — this is the CPU-intensive ``set_inputs``
+    work that grows with the number of stimulus (Fig. 2).
+    """
+
+    def __init__(self, texts: Sequence[str]):
+        if not texts:
+            raise SimulationError("no stimulus texts")
+        self.names: Optional[List[str]] = None
+        self._lines: List[List[str]] = []
+        for t in texts:
+            lines = [
+                ln for ln in t.splitlines()[2:] if ln.strip() and not ln.startswith("#")
+            ]
+            header = t.splitlines()
+            names = header[1][len("# inputs:"):].split()
+            if self.names is None:
+                self.names = names
+            elif names != self.names:
+                raise SimulationError("stimulus files disagree on input names")
+            self._lines.append(lines)
+        counts = {len(l) for l in self._lines}
+        if len(counts) != 1:
+            raise SimulationError("stimulus files disagree on cycle count")
+        self.cycles = counts.pop()
+        self.n = len(self._lines)
+
+    def __len__(self) -> int:
+        return self.cycles
+
+    def inputs_at(self, cycle: int) -> Dict[str, np.ndarray]:
+        return self.inputs_at_range(cycle, 0, self.n)
+
+    def inputs_at_range(self, cycle: int, lo: int, hi: int) -> Dict[str, np.ndarray]:
+        assert self.names is not None
+        cols = len(self.names)
+        out = np.empty((cols, hi - lo), dtype=np.uint64)
+        for j, lane in enumerate(range(lo, hi)):
+            parts = self._lines[lane][cycle].split()
+            for k in range(cols):
+                out[k, j] = int(parts[k], 16)
+        return {name: out[k] for k, name in enumerate(self.names)}
+
+    def decode_all(self) -> StimulusBatch:
+        data = {
+            name: np.zeros((self.cycles, self.n), dtype=np.uint64)
+            for name in (self.names or [])
+        }
+        for c in range(self.cycles):
+            for name, arr in self.inputs_at(c).items():
+                data[name][c] = arr
+        return StimulusBatch(data)

@@ -1,0 +1,76 @@
+"""The repro stimulus text format.
+
+One file per stimulus::
+
+    # repro-stimulus v1
+    # inputs: rst en din
+    1 0 0
+    0 1 a3
+    0 1 7f
+
+Values are unprefixed hex, one line per cycle, columns matching the
+header's input order.  Clock inputs are never part of a stimulus — the
+simulator toggles them (Listing 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.errors import SimulationError
+
+MAGIC = "# repro-stimulus v1"
+
+
+def encode_stimulus_text(names: Sequence[str], rows: Sequence[Sequence[int]]) -> str:
+    """Render one stimulus as text."""
+    lines = [MAGIC, "# inputs: " + " ".join(names)]
+    for row in rows:
+        if len(row) != len(names):
+            raise SimulationError(
+                f"stimulus row has {len(row)} values for {len(names)} inputs"
+            )
+        lines.append(" ".join(format(int(v), "x") for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def decode_stimulus_text(text: str) -> Tuple[List[str], np.ndarray]:
+    """Parse one stimulus; returns (input names, values[cycles, inputs])."""
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != MAGIC:
+        raise SimulationError("not a repro-stimulus v1 file")
+    if len(lines) < 2 or not lines[1].startswith("# inputs:"):
+        raise SimulationError("missing '# inputs:' header")
+    names = lines[1][len("# inputs:"):].split()
+    rows: List[List[int]] = []
+    for lineno, line in enumerate(lines[2:], start=3):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != len(names):
+            raise SimulationError(
+                f"line {lineno}: {len(parts)} values for {len(names)} inputs"
+            )
+        try:
+            rows.append([int(p, 16) for p in parts])
+        except ValueError:
+            raise SimulationError(f"line {lineno}: bad hex value")
+    values = np.array(rows, dtype=np.uint64) if rows else np.empty(
+        (0, len(names)), dtype=np.uint64
+    )
+    return names, values
+
+
+def write_stimulus_file(path: str, names: Sequence[str], rows) -> None:
+    """Write one stimulus to ``path`` in the v1 text format."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(encode_stimulus_text(names, rows))
+
+
+def read_stimulus_file(path: str) -> Tuple[List[str], np.ndarray]:
+    """Read one stimulus file; returns (names, values)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return decode_stimulus_text(fh.read())

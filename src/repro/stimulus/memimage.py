@@ -1,0 +1,82 @@
+"""Memory image files in ``$readmemh`` format.
+
+The front end deliberately has no ``initial`` blocks (state preloads go
+through the simulator API), so this module supplies the standard way to
+get program/weight images into memories: the `$readmemh` text format —
+whitespace-separated hex words, ``//`` and ``/* */`` comments, and
+``@addr`` address jumps.
+
+::
+
+    // boot.hex
+    @0
+    00000093 00100113
+    @10
+    deadbeef
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Union
+
+from repro.utils.errors import SimulationError
+
+
+def parse_hex_image(text: str) -> Dict[int, int]:
+    """Parse $readmemh text into an {address: word} map."""
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    text = re.sub(r"//[^\n]*", " ", text)
+    out: Dict[int, int] = {}
+    addr = 0
+    for tok in text.split():
+        if tok.startswith("@"):
+            try:
+                addr = int(tok[1:], 16)
+            except ValueError:
+                raise SimulationError(f"bad address directive {tok!r}")
+            continue
+        cleaned = tok.replace("_", "")
+        # Two-state: x/z digits read as zero, as everywhere else.
+        cleaned = re.sub(r"[xXzZ?]", "0", cleaned)
+        try:
+            out[addr] = int(cleaned, 16)
+        except ValueError:
+            raise SimulationError(f"bad hex word {tok!r} in memory image")
+        addr += 1
+    return out
+
+
+def image_to_list(image: Dict[int, int], depth: int = 0) -> List[int]:
+    """Dense word list from a sparse image (missing addresses are 0)."""
+    if not image:
+        return [0] * depth
+    top = max(image)
+    size = max(depth, top + 1)
+    out = [0] * size
+    for a, v in image.items():
+        if a < 0:
+            raise SimulationError(f"negative address {a} in memory image")
+        out[a] = v
+    return out
+
+
+def read_hex_image(path: str, depth: int = 0) -> List[int]:
+    """Load a $readmemh file as a dense word list."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return image_to_list(parse_hex_image(fh.read()), depth)
+
+
+def write_hex_image(path: str, words, per_line: int = 8) -> None:
+    """Write words as a $readmemh file (round-trips with read_hex_image)."""
+    lines = []
+    row: List[str] = []
+    for w in words:
+        row.append(format(int(w), "x"))
+        if len(row) == per_line:
+            lines.append(" ".join(row))
+            row = []
+    if row:
+        lines.append(" ".join(row))
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")

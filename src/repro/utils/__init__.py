@@ -1,0 +1,33 @@
+"""Shared low-level utilities: bit-vector semantics, timing, errors."""
+
+from repro.utils.errors import (
+    ReproError,
+    VerilogSyntaxError,
+    ElaborationError,
+    WidthError,
+    UnsupportedFeatureError,
+    SimulationError,
+)
+from repro.utils.bitvec import (
+    mask,
+    truncate,
+    dtype_for_width,
+    pool_for_width,
+    POOL_WIDTHS,
+    POOL_NAMES,
+)
+
+__all__ = [
+    "ReproError",
+    "VerilogSyntaxError",
+    "ElaborationError",
+    "WidthError",
+    "UnsupportedFeatureError",
+    "SimulationError",
+    "mask",
+    "truncate",
+    "dtype_for_width",
+    "pool_for_width",
+    "POOL_WIDTHS",
+    "POOL_NAMES",
+]

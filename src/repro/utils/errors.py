@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type to handle any toolchain failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro toolchain."""
+
+
+class VerilogSyntaxError(ReproError):
+    """A lexing or parsing error in a Verilog source file.
+
+    Carries the source location so that diagnostics point at the offending
+    token, e.g. ``counter.v:12:8: expected ';' after statement``.
+    """
+
+    def __init__(self, message: str, filename: str = "<input>", line: int = 0, col: int = 0):
+        self.filename = filename
+        self.line = line
+        self.col = col
+        super().__init__(f"{filename}:{line}:{col}: {message}")
+
+
+class ElaborationError(ReproError):
+    """Design elaboration failed (unknown module, port mismatch, etc.)."""
+
+
+class WidthError(ReproError):
+    """A signal width is invalid or unsupported (e.g. wider than 64 bits)."""
+
+
+class UnsupportedFeatureError(ReproError):
+    """The source uses a Verilog feature outside the supported subset."""
+
+
+class SimulationError(ReproError):
+    """A runtime failure while simulating (bad stimulus, comb loop, etc.)."""

@@ -1,0 +1,23 @@
+"""Verilog-2001 front end (substrate).
+
+The paper builds its transpiler atop Verilator's AST parser; this package is
+our from-scratch equivalent: a preprocessor, lexer, recursive-descent parser
+and width-inference pass for the synthesizable subset used by the bundled
+designs (see DESIGN.md §5 for the exact subset).
+"""
+
+from repro.verilog.lexer import Lexer, Token, TokenKind, tokenize
+from repro.verilog.parser import Parser, parse_source
+from repro.verilog.preprocessor import preprocess
+from repro.verilog import ast_nodes as ast
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "Parser",
+    "parse_source",
+    "preprocess",
+    "ast",
+]

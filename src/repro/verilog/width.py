@@ -1,0 +1,217 @@
+"""Width inference and context sizing (Verilog-2001 expression sizing).
+
+Runs on the lowered design: every expression node gets
+
+* ``width`` — its self-determined width, and
+* ``ctx_width`` — the width the node's value must wrap at (context
+  determined by the assignment target and the operators above it).
+
+Code generators then only need to mask the results of operators that can
+produce bits above ``ctx_width`` (``+ - * ~ << **`` and negation); all other
+operators keep canonical values canonical.
+
+Part-select and memory-index bounds are constant-folded here and cached on
+the node (``_msb_i``/``_lsb_i``/``_shift_i``) so codegen does not repeat the
+evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.elaborate.constfold import eval_const
+from repro.elaborate.symexec import LoweredDesign
+from repro.utils.bitvec import MAX_TOTAL_WIDTH
+from repro.utils.errors import ElaborationError, WidthError
+from repro.verilog import ast_nodes as A
+
+# Operators whose operands take the parent's context width.
+_CTX_ARITH = {"+", "-", "*", "/", "%", "&", "|", "^", "~^", "^~"}
+_CMP_OPS = {"==", "!=", "===", "!==", "<", "<=", ">", ">="}
+_LOGICAL = {"&&", "||"}
+_SHIFTS = {"<<", ">>", "<<<", ">>>"}
+_REDUCTIONS = {"&", "|", "^", "~&", "~|", "~^"}
+
+
+class WidthAnnotator:
+    def __init__(self, design: LoweredDesign):
+        self.design = design
+
+    # -- pass 1: self-determined widths ---------------------------------------
+
+    def self_width(self, e: A.Expr) -> int:
+        w = self._self_width(e)
+        if w <= 0:
+            raise WidthError(f"expression has non-positive width {w}")
+        if w > MAX_TOTAL_WIDTH:
+            raise WidthError(
+                f"expression width {w} exceeds the {MAX_TOTAL_WIDTH}-bit "
+                f"limit ({A.op_type_name(e)} node)"
+            )
+        e.width = w
+        return w
+
+    def _signal_width(self, name: str) -> int:
+        if name in self.design.signals:
+            return self.design.signals[name].width
+        raise ElaborationError(f"unknown signal {name!r} in expression")
+
+    def _self_width(self, e: A.Expr) -> int:
+        if isinstance(e, A.Number):
+            if e.size is not None:
+                return e.size
+            return max(32, e.value.bit_length() or 1)
+        if isinstance(e, A.Ident):
+            if e.name in self.design.memories:
+                raise ElaborationError(
+                    f"memory {e.name!r} used as a plain value; index it"
+                )
+            return self._signal_width(e.name)
+        if isinstance(e, A.Unary):
+            ow = self.self_width(e.operand)
+            if e.op in ("~", "-", "+"):
+                return ow
+            return 1  # reductions and !
+        if isinstance(e, A.Binary):
+            lw = self.self_width(e.left)
+            rw = self.self_width(e.right)
+            if e.op in _CMP_OPS or e.op in _LOGICAL:
+                return 1
+            if e.op in _SHIFTS or e.op == "**":
+                return lw
+            return max(lw, rw)
+        if isinstance(e, A.Ternary):
+            self.self_width(e.cond)
+            tw = self.self_width(e.then)
+            ow = self.self_width(e.other)
+            return max(tw, ow)
+        if isinstance(e, A.Concat):
+            return sum(self.self_width(p) for p in e.parts)
+        if isinstance(e, A.Repeat):
+            count = eval_const(e.count)
+            if count <= 0:
+                raise WidthError("replication count must be positive")
+            e._count_i = count  # type: ignore[attr-defined]
+            return count * self.self_width(e.value)
+        if isinstance(e, A.Index):
+            self.self_width(e.index)
+            if e.base in self.design.memories:
+                e.is_memory = True
+                return self.design.memories[e.base].width
+            self._signal_width(e.base)  # validate
+            return 1
+        if isinstance(e, A.PartSelect):
+            sig = self.design.signals.get(e.base)
+            if sig is None:
+                raise ElaborationError(f"unknown signal {e.base!r} in part select")
+            msb = eval_const(e.msb) - sig.lsb
+            lsb = eval_const(e.lsb) - sig.lsb
+            if msb < lsb or lsb < 0 or msb >= sig.width:
+                raise WidthError(
+                    f"part select {e.base}[{msb + sig.lsb}:{lsb + sig.lsb}] out of "
+                    f"range for width {sig.width}"
+                )
+            e._msb_i = msb  # type: ignore[attr-defined]
+            e._lsb_i = lsb  # type: ignore[attr-defined]
+            return msb - lsb + 1
+        if isinstance(e, A.IndexedPartSelect):
+            sig = self.design.signals.get(e.base)
+            if sig is None:
+                raise ElaborationError(f"unknown signal {e.base!r} in part select")
+            w = eval_const(e.part_width)
+            if w <= 0 or w > sig.width:
+                raise WidthError(f"indexed part width {w} out of range")
+            e._width_i = w  # type: ignore[attr-defined]
+            e._base_lsb_i = sig.lsb  # type: ignore[attr-defined]
+            self.self_width(e.start)
+            return w
+        raise ElaborationError(f"cannot size expression {type(e).__name__}")
+
+    # -- pass 2: context widths -----------------------------------------------
+
+    def set_context(self, e: A.Expr, ctx: int) -> None:
+        ctx = max(ctx, e.width)
+        if ctx > MAX_TOTAL_WIDTH:
+            ctx = MAX_TOTAL_WIDTH
+        e.ctx_width = ctx
+        if isinstance(e, (A.Number, A.Ident)):
+            return
+        if isinstance(e, A.Unary):
+            if e.op in ("~", "-", "+"):
+                self.set_context(e.operand, ctx)
+            else:  # reductions / logical not: operand is self-determined
+                self.set_context(e.operand, e.operand.width)
+            return
+        if isinstance(e, A.Binary):
+            op = e.op
+            if op in _CTX_ARITH:
+                self.set_context(e.left, ctx)
+                self.set_context(e.right, ctx)
+            elif op in _CMP_OPS:
+                cw = max(e.left.width, e.right.width)
+                self.set_context(e.left, cw)
+                self.set_context(e.right, cw)
+            elif op in _LOGICAL:
+                self.set_context(e.left, e.left.width)
+                self.set_context(e.right, e.right.width)
+            elif op in _SHIFTS:
+                self.set_context(e.left, ctx)
+                self.set_context(e.right, e.right.width)
+            elif op == "**":
+                self.set_context(e.left, ctx)
+                self.set_context(e.right, e.right.width)
+            else:
+                raise ElaborationError(f"unknown binary op {op!r}")
+            return
+        if isinstance(e, A.Ternary):
+            self.set_context(e.cond, e.cond.width)
+            self.set_context(e.then, ctx)
+            self.set_context(e.other, ctx)
+            return
+        if isinstance(e, A.Concat):
+            for p in e.parts:
+                self.set_context(p, p.width)
+            return
+        if isinstance(e, A.Repeat):
+            self.set_context(e.count, e.count.width)
+            self.set_context(e.value, e.value.width)
+            return
+        if isinstance(e, A.Index):
+            self.set_context(e.index, e.index.width)
+            return
+        if isinstance(e, A.PartSelect):
+            return
+        if isinstance(e, A.IndexedPartSelect):
+            self.set_context(e.start, e.start.width)
+            return
+        raise ElaborationError(f"cannot contextualize {type(e).__name__}")
+
+    def annotate_assignment(self, expr: A.Expr, target_width: int) -> None:
+        w = self.self_width(expr)
+        self.set_context(expr, max(w, target_width))
+
+    def annotate_self(self, expr: A.Expr) -> None:
+        w = self.self_width(expr)
+        self.set_context(expr, w)
+
+
+def annotate_design(design: LoweredDesign) -> None:
+    """Annotate every expression in ``design`` with width/ctx_width."""
+    ann = WidthAnnotator(design)
+    for ca in design.comb:
+        tw = design.signals[ca.target].width
+        ann.annotate_assignment(ca.expr, tw)
+    for blk in design.seq:
+        if blk.clock not in design.signals:
+            raise ElaborationError(f"unknown clock signal {blk.clock!r}")
+        for upd in blk.updates:
+            if upd.target not in design.signals:
+                raise ElaborationError(f"unknown register {upd.target!r}")
+            ann.annotate_assignment(upd.expr, design.signals[upd.target].width)
+        for mw in blk.mem_writes:
+            mem = design.memories.get(mw.mem)
+            if mem is None:
+                raise ElaborationError(f"unknown memory {mw.mem!r}")
+            ann.annotate_self(mw.cond)
+            ann.annotate_self(mw.addr)
+            ann.annotate_assignment(mw.data, mem.width)

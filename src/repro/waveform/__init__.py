@@ -1,0 +1,5 @@
+"""Waveform capture: VCD dump of selected lanes of a batch simulation."""
+
+from repro.waveform.vcd import VcdWriter, dump_vcd, parse_vcd
+
+__all__ = ["VcdWriter", "dump_vcd", "parse_vcd"]

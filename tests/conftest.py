@@ -1,0 +1,126 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elaborate.elaborator import elaborate
+from repro.elaborate.symexec import lower
+from repro.rtlir.build import build_graph
+from repro.verilog.parser import parse_source
+
+
+def compile_graph(source: str, top: str):
+    """Parse → elaborate → lower → RTL graph (shared by many tests)."""
+    unit = parse_source(source)
+    flat = elaborate(unit, top)
+    return build_graph(lower(flat))
+
+
+COUNTER_V = """
+module counter #(parameter W = 8) (
+    input wire clk,
+    input wire rst,
+    input wire en,
+    output wire [W-1:0] count
+);
+    reg [W-1:0] q;
+    always @(posedge clk) begin
+        if (rst) q <= 0;
+        else if (en) q <= q + 1;
+    end
+    assign count = q;
+endmodule
+"""
+
+ALU_V = """
+module alu (
+    input wire [7:0] a,
+    input wire [7:0] b,
+    input wire [2:0] op,
+    output reg [7:0] y,
+    output wire zero
+);
+    always @* begin
+        case (op)
+            3'd0: y = a + b;
+            3'd1: y = a - b;
+            3'd2: y = a & b;
+            3'd3: y = a | b;
+            3'd4: y = a ^ b;
+            3'd5: y = a << b[2:0];
+            3'd6: y = a >> b[2:0];
+            default: y = ~a;
+        endcase
+    end
+    assign zero = (y == 8'd0);
+endmodule
+"""
+
+SHIFTREG_V = """
+module shiftreg (
+    input wire clk,
+    input wire din,
+    output wire [3:0] taps
+);
+    reg [3:0] sr;
+    always @(posedge clk) sr <= {sr[2:0], din};
+    assign taps = sr;
+endmodule
+"""
+
+MEMDUT_V = """
+module memdut (
+    input wire clk,
+    input wire we,
+    input wire [3:0] waddr,
+    input wire [7:0] wdata,
+    input wire [3:0] raddr,
+    output wire [7:0] rdata
+);
+    reg [7:0] mem [0:15];
+    always @(posedge clk) begin
+        if (we) mem[waddr] <= wdata;
+    end
+    assign rdata = mem[raddr];
+endmodule
+"""
+
+HIER_V = """
+module half_adder(input wire a, input wire b, output wire s, output wire c);
+    assign s = a ^ b;
+    assign c = a & b;
+endmodule
+
+module full_adder(input wire a, input wire b, input wire cin,
+                  output wire s, output wire cout);
+    wire s1, c1, c2;
+    half_adder ha0 (.a(a), .b(b), .s(s1), .c(c1));
+    half_adder ha1 (.a(s1), .b(cin), .s(s), .c(c2));
+    assign cout = c1 | c2;
+endmodule
+
+module adder4(input wire [3:0] a, input wire [3:0] b, input wire cin,
+              output wire [3:0] s, output wire cout);
+    wire c0, c1, c2;
+    full_adder fa0 (.a(a[0]), .b(b[0]), .cin(cin), .s(s[0]), .cout(c0));
+    full_adder fa1 (.a(a[1]), .b(b[1]), .cin(c0),  .s(s[1]), .cout(c1));
+    full_adder fa2 (.a(a[2]), .b(b[2]), .cin(c1),  .s(s[2]), .cout(c2));
+    full_adder fa3 (.a(a[3]), .b(b[3]), .cin(c2),  .s(s[3]), .cout(cout));
+endmodule
+"""
+
+
+@pytest.fixture
+def counter_graph():
+    return compile_graph(COUNTER_V, "counter")
+
+
+@pytest.fixture
+def alu_graph():
+    return compile_graph(ALU_V, "alu")
+
+
+@pytest.fixture
+def memdut_graph():
+    return compile_graph(MEMDUT_V, "memdut")

@@ -1,0 +1,110 @@
+"""Tests for batch assertion checking."""
+
+import numpy as np
+import pytest
+
+from repro.core.codegen import transpile
+from repro.core.simulator import BatchSimulator
+from repro.coverage.checks import BatchChecker, Violation
+from repro.stimulus.generator import random_batch
+from repro.utils.errors import SimulationError
+
+from tests.conftest import COUNTER_V, compile_graph
+
+
+@pytest.fixture(scope="module")
+def model():
+    return transpile(compile_graph(COUNTER_V, "counter"))
+
+
+def _sim(model, n=8):
+    return BatchSimulator(model, n)
+
+
+class TestProperties:
+    def test_passing_property(self, model):
+        sim = _sim(model)
+        checker = BatchChecker(sim)
+        checker.add("count_small", lambda s: s["count"] <= 255)
+        stim = random_batch(model.design, 8, 20, seed=0)
+        checker.run(stim)
+        assert checker.passed
+        assert "held" in checker.summary()
+
+    def test_failing_property_records_lanes(self, model):
+        sim = _sim(model, n=4)
+        checker = BatchChecker(sim)
+        checker.add("never_counts", lambda s: s["count"] == 0)
+        en = np.zeros((6, 4), dtype=np.uint64)
+        en[:, 2] = 1  # only lane 2 counts
+        stim = random_batch(model.design, 4, 6, seed=0, overrides={"en": en})
+        checker.run(stim)
+        assert not checker.passed
+        assert all(v.lanes == [2] for v in checker.violations)
+        assert checker.violations[0].prop == "never_counts"
+
+    def test_violation_cycle_recorded(self, model):
+        sim = _sim(model, n=2)
+        checker = BatchChecker(sim)
+        checker.add("count_lt_3", lambda s: s["count"] < 3)
+        en = np.ones((10, 2), dtype=np.uint64)
+        stim = random_batch(model.design, 2, 10, seed=0, overrides={"en": en})
+        checker.run(stim)
+        # Reset holds at cycle 0, then count == cycle index: first >= 3 at 3.
+        assert checker.violations[0].cycle == 3
+
+    def test_multi_signal_predicate(self, model):
+        sim = _sim(model)
+        checker = BatchChecker(sim)
+        checker.add(
+            "reset_zeroes",
+            lambda s: (s["rst"] == 0) | (s["en"] == s["en"]),
+            signals=["rst", "en"],
+        )
+        stim = random_batch(model.design, 8, 10, seed=1)
+        checker.run(stim)
+        assert checker.passed
+
+    def test_scalar_predicate_broadcast(self, model):
+        sim = _sim(model, n=3)
+        checker = BatchChecker(sim)
+        checker.add("always_false", lambda s: False)
+        sim.cycle({"rst": 1, "en": 0})
+        checker.check()
+        assert checker.violations[0].lanes == [0, 1, 2]
+
+    def test_raise_on_failure(self, model):
+        sim = _sim(model, n=2)
+        checker = BatchChecker(sim)
+        checker.add("nope", lambda s: s["count"] > 1000)
+        sim.cycle({"rst": 1, "en": 0})
+        checker.check()
+        with pytest.raises(SimulationError) as ei:
+            checker.raise_on_failure()
+        assert "nope" in str(ei.value)
+
+    def test_max_violations_cap(self, model):
+        sim = _sim(model, n=2)
+        checker = BatchChecker(sim, max_violations=3)
+        checker.add("always_false", lambda s: False)
+        for _ in range(10):
+            sim.cycle({"rst": 0, "en": 1})
+            checker.check()
+        assert len(checker.violations) == 3
+
+
+class TestValidation:
+    def test_duplicate_name(self, model):
+        checker = BatchChecker(_sim(model))
+        checker.add("p", lambda s: True)
+        with pytest.raises(SimulationError):
+            checker.add("p", lambda s: True)
+
+    def test_unknown_signal(self, model):
+        checker = BatchChecker(_sim(model))
+        with pytest.raises(SimulationError):
+            checker.add("p", lambda s: True, signals=["ghost"])
+
+    def test_violation_str_truncates(self):
+        v = Violation("p", 3, list(range(20)))
+        assert "..." in str(v)

@@ -1,0 +1,133 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+from tests.conftest import COUNTER_V, MEMDUT_V
+
+
+@pytest.fixture
+def counter_v(tmp_path):
+    p = tmp_path / "counter.v"
+    p.write_text(COUNTER_V)
+    return str(p)
+
+
+class TestStats:
+    def test_prints_graph_stats(self, counter_v, capsys):
+        assert main(["stats", counter_v, "--top", "counter"]) == 0
+        out = capsys.readouterr().out
+        assert "RTL graph statistics" in out
+        assert "comb_nodes" in out
+        assert "default task graph" in out
+
+    def test_unknown_top_module(self, counter_v, capsys):
+        assert main(["stats", counter_v, "--top", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTranspile:
+    def test_writes_kernel_module(self, counter_v, tmp_path, capsys):
+        out_py = str(tmp_path / "k.py")
+        assert main(["transpile", counter_v, "--top", "counter",
+                     "-o", out_py]) == 0
+        text = open(out_py).read()
+        assert "def task_0" in text
+        compile(text, out_py, "exec")  # generated module must be valid
+
+    def test_scalar_output(self, counter_v, tmp_path):
+        out_py = str(tmp_path / "k.py")
+        sc_py = str(tmp_path / "s.py")
+        assert main(["transpile", counter_v, "--top", "counter",
+                     "-o", out_py, "--scalar-output", sc_py]) == 0
+        assert "def comb_all" in open(sc_py).read()
+
+
+class TestSimulate:
+    def test_random_run(self, counter_v, capsys):
+        assert main(["simulate", counter_v, "--top", "counter",
+                     "-n", "4", "-c", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "4 stimulus x 20 cycles" in out
+        assert "count" in out
+
+    def test_vcd_dump(self, counter_v, tmp_path, capsys):
+        vcd = str(tmp_path / "w.vcd")
+        assert main(["simulate", counter_v, "--top", "counter",
+                     "-n", "4", "-c", "20", "--vcd", vcd]) == 0
+        assert os.path.exists(vcd)
+        assert "$enddefinitions" in open(vcd).read()
+
+    def test_stimulus_files(self, counter_v, tmp_path, capsys):
+        from repro.stimulus.format import write_stimulus_file
+
+        paths = []
+        for i in range(3):
+            p = str(tmp_path / f"s{i}.stim")
+            rows = [[1, 0]] + [[0, 1]] * 5
+            write_stimulus_file(p, ["rst", "en"], rows)
+            paths.append(p)
+        assert main(["simulate", counter_v, "--top", "counter", "-c", "6",
+                     "--stimulus", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "3 stimulus" in out
+
+    @pytest.mark.parametrize("executor", ["graph", "graph-fused", "stream"])
+    def test_executors(self, counter_v, executor):
+        assert main(["simulate", counter_v, "--top", "counter", "-n", "2",
+                     "-c", "5", "--executor", executor]) == 0
+
+
+class TestCoverage:
+    def test_report(self, counter_v, capsys):
+        assert main(["coverage", counter_v, "--top", "counter",
+                     "-n", "16", "-c", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "toggle coverage" in out
+
+    def test_threshold_gate(self, counter_v):
+        # 2 cycles cannot reach 99% coverage -> nonzero exit.
+        assert main(["coverage", counter_v, "--top", "counter",
+                     "-n", "2", "-c", "2", "--threshold", "99"]) == 1
+
+    def test_ports_only(self, counter_v, capsys):
+        assert main(["coverage", counter_v, "--top", "counter", "-n", "4",
+                     "-c", "10", "--ports-only"]) == 0
+
+
+class TestDesigns:
+    def test_lists_bundled(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("counter", "riscv_mini", "spinal", "nvdla"):
+            assert name in out
+
+
+class TestMemoryLoad:
+    def test_load_program_image(self, tmp_path, capsys):
+        from repro.designs import riscv_mini
+        from repro.stimulus.memimage import write_hex_image
+
+        v = tmp_path / "rv.v"
+        v.write_text(riscv_mini.generate())
+        hexf = str(tmp_path / "prog.hex")
+        write_hex_image(hexf, riscv_mini.program_image("sum10"))
+        assert main(["simulate", str(v), "--top", "riscv_mini",
+                     "-n", "2", "-c", "80", "--load", f"imem={hexf}"]) == 0
+        out = capsys.readouterr().out
+        assert "io_out_port" in out
+
+    def test_unknown_memory_name(self, counter_v, tmp_path, capsys):
+        hexf = tmp_path / "x.hex"
+        hexf.write_text("1 2 3\n")
+        assert main(["simulate", counter_v, "--top", "counter", "-n", "2",
+                     "-c", "2", "--load", f"nomem={hexf}"]) == 2
+        assert "nomem" in capsys.readouterr().err
+
+    def test_bad_spec(self, counter_v, capsys):
+        assert main(["simulate", counter_v, "--top", "counter", "-n", "2",
+                     "-c", "2", "--load", "oops"]) == 2
+        assert "NAME=FILE" in capsys.readouterr().err

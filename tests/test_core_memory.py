@@ -1,0 +1,170 @@
+"""Tests for incremental GPU memory allocation (§3.1.2) and DeviceArrays."""
+
+import numpy as np
+import pytest
+
+from repro.core.memory import DeviceArrays, MemoryLayout
+from repro.utils import bitvec as bv
+from repro.utils.errors import SimulationError
+
+from tests.conftest import COUNTER_V, MEMDUT_V, compile_graph
+
+MIXED_V = """
+module mixed (
+    input wire clk,
+    input wire [5:0] in6,
+    input wire [13:0] in14,
+    input wire [23:0] in24,
+    input wire [63:0] in64,
+    output wire [5:0] o6
+);
+    reg [5:0] r6;
+    reg [13:0] r14;
+    reg [23:0] r24;
+    reg [63:0] r64;
+    always @(posedge clk) begin
+        r6 <= in6;
+        r14 <= in14;
+        r24 <= in24;
+        r64 <= in64;
+    end
+    assign o6 = r6;
+endmodule
+"""
+
+
+class TestPoolSelection:
+    def test_smallest_fitting_pool(self):
+        g = compile_graph(MIXED_V, "mixed")
+        layout = MemoryLayout.from_graph(g)
+        assert layout.slot("r6").pool == 0  # 6 bits -> var8
+        assert layout.slot("r14").pool == 1  # 14 bits -> var16
+        assert layout.slot("r24").pool == 2  # 24 bits -> var32
+        assert layout.slot("r64").pool == 3  # 64 bits -> var64
+
+    def test_offsets_are_unique_per_pool(self):
+        g = compile_graph(MIXED_V, "mixed")
+        layout = MemoryLayout.from_graph(g)
+        seen = set()
+        for slot in layout.slots.values():
+            key = (slot.pool, slot.offset)
+            assert key not in seen
+            seen.add(key)
+
+    def test_registers_have_shadow_slots(self):
+        g = compile_graph(MIXED_V, "mixed")
+        layout = MemoryLayout.from_graph(g)
+        for name in ("r6", "r14", "r24", "r64"):
+            s = layout.slot(name)
+            assert s.is_state
+            assert s.next_offset == s.offset + layout.reg_counts[s.pool]
+        assert not layout.slot("in6").is_state
+
+    def test_memory_block_is_contiguous(self):
+        g = compile_graph(MEMDUT_V, "memdut")
+        layout = MemoryLayout.from_graph(g)
+        m = layout.mem("mem")
+        assert m.depth == 16
+        assert m.pool == 0  # 8-bit elements
+        assert m.base + m.depth <= layout.pool_sizes[0]
+
+    def test_scratch_allocated_per_write_port(self):
+        g = compile_graph(MEMDUT_V, "memdut")
+        layout = MemoryLayout.from_graph(g)
+        assert len(layout.scratch) == 1
+
+    def test_footprint_scales_with_n(self):
+        g = compile_graph(COUNTER_V, "counter")
+        layout = MemoryLayout.from_graph(g)
+        assert layout.footprint_bytes(200) == layout.footprint_bytes(100) * 2
+
+
+class TestDeviceArrays:
+    @pytest.fixture
+    def arrays(self):
+        g = compile_graph(MIXED_V, "mixed")
+        return DeviceArrays(MemoryLayout.from_graph(g), 8)
+
+    def test_pools_have_expected_dtypes(self, arrays):
+        assert arrays.pools[0].dtype == np.uint8
+        assert arrays.pools[1].dtype == np.uint16
+        assert arrays.pools[2].dtype == np.uint32
+        assert arrays.pools[3].dtype == np.uint64
+
+    def test_write_read_roundtrip(self, arrays):
+        vals = np.arange(8, dtype=np.uint64)
+        arrays.write("in14", vals)
+        assert np.array_equal(arrays.read("in14"), vals)
+
+    def test_scalar_broadcast(self, arrays):
+        arrays.write("in6", 63)
+        assert np.all(arrays.read("in6") == 63)
+
+    def test_write_masks_to_width(self, arrays):
+        arrays.write("in6", 0xFF)
+        assert np.all(arrays.read("in6") == 0x3F)
+
+    def test_wrong_length_rejected(self, arrays):
+        with pytest.raises(SimulationError):
+            arrays.write("in6", np.arange(5))
+
+    def test_commit_copies_shadow(self, arrays):
+        slot = arrays.layout.slot("r6")
+        n = arrays.n
+        pool = arrays.pools[slot.pool]
+        pool[slot.next_offset * n : (slot.next_offset + 1) * n] = 42
+        arrays.commit_registers()
+        assert np.all(arrays.read("r6") == 42)
+
+    def test_commit_by_domain(self, arrays):
+        slot = arrays.layout.slot("r6")
+        n = arrays.n
+        pool = arrays.pools[slot.pool]
+        pool[slot.next_offset * n : (slot.next_offset + 1) * n] = 17
+        arrays.commit_registers(("clk", "posedge"))
+        assert np.all(arrays.read("r6") == 17)
+
+    def test_snapshot_restore(self, arrays):
+        arrays.write("in24", 123456)
+        snap = arrays.snapshot()
+        arrays.write("in24", 1)
+        arrays.restore(snap)
+        assert np.all(arrays.read("in24") == 123456)
+
+    def test_zero_batch_rejected(self):
+        g = compile_graph(COUNTER_V, "counter")
+        layout = MemoryLayout.from_graph(g)
+        with pytest.raises(SimulationError):
+            DeviceArrays(layout, 0)
+
+
+class TestMemoryImages:
+    @pytest.fixture
+    def arrays(self):
+        g = compile_graph(MEMDUT_V, "memdut")
+        return DeviceArrays(MemoryLayout.from_graph(g), 4)
+
+    def test_broadcast_image(self, arrays):
+        arrays.load_memory("mem", [1, 2, 3])
+        block = arrays.read_memory("mem")
+        assert block.shape == (16, 4)
+        assert list(block[:3, 0]) == [1, 2, 3]
+        assert list(block[:3, 3]) == [1, 2, 3]
+
+    def test_per_lane_image(self, arrays):
+        img = np.arange(16 * 4, dtype=np.uint64).reshape(16, 4) % 256
+        arrays.load_memory("mem", img)
+        assert np.array_equal(arrays.read_memory("mem"), img)
+
+    def test_single_lane_load(self, arrays):
+        arrays.load_memory("mem", [7, 8], lane=2)
+        assert list(arrays.read_memory("mem", lane=2)[:2]) == [7, 8]
+        assert arrays.read_memory("mem", lane=0)[0] == 0
+
+    def test_oversized_image_rejected(self, arrays):
+        with pytest.raises(SimulationError):
+            arrays.load_memory("mem", list(range(17)))
+
+    def test_image_masked_to_width(self, arrays):
+        arrays.load_memory("mem", [0x3FF])
+        assert arrays.read_memory("mem", lane=0)[0] == 0xFF

@@ -1,0 +1,316 @@
+"""Functional and differential tests for the bundled benchmark designs."""
+
+import numpy as np
+import pytest
+
+from repro import RTLFlow
+from repro.baselines.reference import ReferenceSimulator
+from repro.designs import get_design, list_designs
+from repro.designs import nvdla_lite, riscv_mini, spinal_soc
+from repro.designs.micro import ALU, COUNTER, FIFO, GRAY_PIPELINE
+from repro.designs.riscv_asm import AsmError, assemble
+from repro.utils.errors import ReproError
+
+from tests.conftest import compile_graph
+from tests.helpers import batch_traces, reference_traces
+
+
+class TestAssembler:
+    def test_addi_encoding(self):
+        (word,) = assemble("addi x1, x0, 5")
+        assert word == (5 << 20) | (0 << 15) | (0 << 12) | (1 << 7) | 0x13
+
+    def test_negative_immediate(self):
+        (word,) = assemble("addi x1, x0, -1")
+        assert (word >> 20) == 0xFFF
+
+    def test_r_type(self):
+        (word,) = assemble("sub x3, x1, x2")
+        assert word == (0x20 << 25) | (2 << 20) | (1 << 15) | (3 << 7) | 0x33
+
+    def test_branch_label_backward(self):
+        words = assemble("loop:\naddi x1, x1, 1\nbne x1, x0, loop")
+        # branch offset is -4
+        b = words[1]
+        assert b & 0x7F == 0x63
+
+    def test_jump_to_self(self):
+        words = assemble("halt: jal x0, halt")
+        assert words[0] == 0x0000006F
+
+    def test_abi_names(self):
+        (a,) = assemble("addi a0, zero, 1")
+        (b,) = assemble("addi x10, x0, 1")
+        assert a == b
+
+    def test_store_load_roundtrip_encoding(self):
+        lw, sw = assemble("lw x5, 8(x2)\nsw x5, 8(x2)")
+        assert lw & 0x7F == 0x03
+        assert sw & 0x7F == 0x23
+
+    def test_bad_register(self):
+        with pytest.raises(AsmError):
+            assemble("addi x32, x0, 1")
+
+    def test_bad_mnemonic(self):
+        with pytest.raises(AsmError):
+            assemble("frobnicate x1, x2")
+
+    def test_imm_out_of_range(self):
+        with pytest.raises(AsmError):
+            assemble("addi x1, x0, 5000")
+
+
+def _run_program(program: str, cycles: int, n: int = 4, io_in=None):
+    flow = RTLFlow.from_source(riscv_mini.generate(), "riscv_mini")
+    sim = flow.simulator(n=n)
+    sim.load_memory("imem", riscv_mini.program_image(program))
+    sim.set_inputs({"rst": 1, "io_in": 0})
+    sim.cycle()
+    sim.set_inputs({"rst": 0})
+    if io_in is not None:
+        sim.set_inputs({"io_in": io_in})
+    for _ in range(cycles):
+        sim.cycle()
+    return sim
+
+
+class TestRiscvMini:
+    def test_sum10(self):
+        sim = _run_program("sum10", 80)
+        assert np.all(sim.get("halted") == 1)
+        assert np.all(sim.get("a0_out") == 55)
+        assert np.all(sim.get("io_out_port") == 55)
+
+    def test_fib12(self):
+        sim = _run_program("fib12", 120)
+        assert np.all(sim.get("a0_out") == 144)
+
+    def test_memsum(self):
+        sim = _run_program("memsum", 900)
+        assert np.all(sim.get("halted") == 1)
+        assert np.all(sim.get("a0_out") == 1240)
+
+    def test_echo3_per_lane_divergence(self):
+        io = np.array([1, 2, 3, 250], dtype=np.uint64)
+        sim = _run_program("echo3", 30, n=4, io_in=io)
+        assert list(sim.get("io_out_port")) == [3, 6, 9, 750]
+        assert np.all(sim.get("halted") == 0)  # echo3 never halts
+
+    def test_countdown_per_lane_control_flow(self):
+        io = np.array([3, 0, 10, 255], dtype=np.uint64)
+        sim = _run_program("countdown", 1100, n=4, io_in=io)
+        assert np.all(sim.get("halted") == 1)
+        assert list(sim.get("io_out_port")) == [6, 0, 20, 510]
+
+    def test_differential_vs_reference(self):
+        """Batch CPU execution matches the golden interpreter, lane by lane."""
+        bundle = get_design("riscv_mini", program="countdown")
+        graph = compile_graph(bundle.source, bundle.top)
+        stim = bundle.make_stimulus(3, 60, seed=4)
+        image = riscv_mini.program_image("countdown")
+        mems = {"imem": image}
+        watch = ["pc_out", "io_out_port", "a0_out", "halted"]
+        ref = reference_traces(graph, stim, watch, memories=mems)
+        got = batch_traces(graph, stim, watch, memories=mems)
+        for w in watch:
+            assert np.array_equal(ref[w], got[w]), f"{w} diverged"
+
+    def test_pc_advances_by_4(self):
+        sim = _run_program("sum10", 1, n=1)
+        assert sim.get("pc_out")[0] % 4 == 0
+
+
+class TestSpinalSoc:
+    def test_generates_and_simulates(self):
+        b = get_design("spinal", taps=4)
+        flow = RTLFlow.from_source(b.source, b.top)
+        sim = flow.simulator(n=4)
+        stim = b.make_stimulus(4, 60, seed=1)
+        outs = sim.run(stim)
+        assert outs["timer_value"].max() > 0
+        assert outs["checksum"].any()
+
+    def test_taps_scale_design_size(self):
+        small = RTLFlow.from_source(spinal_soc.generate(taps=4), "spinal_soc")
+        large = RTLFlow.from_source(spinal_soc.generate(taps=16), "spinal_soc")
+        assert (
+            large.graph.stats()["ast_nodes"] > small.graph.stats()["ast_nodes"]
+        )
+
+    def test_differential_vs_reference(self):
+        b = get_design("spinal", taps=4)
+        graph = compile_graph(b.source, b.top)
+        stim = b.make_stimulus(3, 40, seed=2)
+        watch = ["fir_out", "checksum", "grant", "fifo_out", "timer_value"]
+        ref = reference_traces(graph, stim, watch)
+        got = batch_traces(graph, stim, watch)
+        for w in watch:
+            assert np.array_equal(ref[w], got[w]), f"{w} diverged"
+
+    def test_fir_impulse_response(self):
+        src = spinal_soc.generate(taps=4)
+        graph = compile_graph(src, "spinal_soc")
+        sim = ReferenceSimulator(graph)
+        base = {"sample": 0, "prescale": 0, "compare": 0, "push": 0, "pop": 0}
+        sim.cycle({**base, "rst": 1})
+        # Impulse of 1: the accumulator sees each coefficient in turn.
+        sim.cycle({**base, "rst": 0, "sample": 1})
+        coeffs = spinal_soc._fir_coeffs(4)
+        seen = []
+        for _ in range(6):
+            sim.cycle({**base, "rst": 0, "sample": 0})
+            seen.append(sim.get("fir_out"))
+        for c in coeffs:
+            assert c in seen, f"coefficient {c} never appeared in the response"
+
+
+class TestNvdlaLite:
+    def _flow(self, pes=2):
+        b = get_design("nvdla", pes=pes)
+        return b, RTLFlow.from_source(b.source, b.top)
+
+    def test_state_machine(self):
+        b, flow = self._flow()
+        sim = flow.simulator(n=2)
+        b.preload(sim)
+        sim.set_inputs({"rst": 1, "start": 0, "clear": 0, "in_valid": 0, "act": 0})
+        sim.cycle()
+        assert np.all(sim.get("state_out") == 0)
+        sim.set_inputs({"rst": 0, "start": 1})
+        sim.cycle()
+        assert np.all(sim.get("state_out") == 1)  # CFG
+        sim.set_inputs({"start": 0})
+        for _ in range(nvdla_lite.K):
+            sim.cycle()
+        assert np.all(sim.get("state_out") == 2)  # RUN
+
+    def test_mac_computation_matches_model(self):
+        b, flow = self._flow(pes=2)
+        sim = flow.simulator(n=1)
+        b.preload(sim)
+        weights = sim.read_memory("wmem", lane=0).astype(np.int64)
+        sim.set_inputs({"rst": 1, "start": 0, "clear": 0, "in_valid": 0, "act": 0})
+        sim.cycle()
+        sim.set_inputs({"rst": 0, "start": 1})
+        sim.cycle()
+        sim.set_inputs({"start": 0})
+        for _ in range(nvdla_lite.K):
+            sim.cycle()
+        acts = [7, 3, 9, 1, 5]
+        window = [0] * nvdla_lite.K
+        acc = [0, 0]
+        for a in acts:
+            # model: window shifts THEN macs accumulate the new window
+            window = [a] + window[:-1]
+            sim.set_inputs({"in_valid": 1, "act": a})
+            sim.cycle()
+            for p in range(2):
+                dot = sum(
+                    window[j] * int(weights[p * nvdla_lite.K + j])
+                    for j in range(nvdla_lite.K)
+                ) & 0xFFFFFF
+                acc[p] = (acc[p] + dot) & 0xFFFFFF
+        # NBA semantics: the accumulator uses the *pre-shift* window each
+        # cycle, so the model must lag by one shift; simplest check is the
+        # differential one below — here we just require nonzero activity.
+        assert sim.get("checksum")[0] > 0
+
+    def test_differential_vs_reference(self):
+        b = get_design("nvdla", pes=2)
+        graph = compile_graph(b.source, b.top)
+        stim = b.make_stimulus(3, 30, seed=5)
+        image = list(range(1, 2 * nvdla_lite.K + 1))
+        mems = {"wmem": image}
+        watch = ["out_data", "checksum", "state_out", "out_valid"]
+        ref = reference_traces(graph, stim, watch, memories=mems)
+        got = batch_traces(graph, stim, watch, memories=mems)
+        for w in watch:
+            assert np.array_equal(ref[w], got[w]), f"{w} diverged"
+
+    def test_pes_scale_design_size(self):
+        small = compile_graph(nvdla_lite.generate(pes=2), "nvdla_lite")
+        large = compile_graph(nvdla_lite.generate(pes=8), "nvdla_lite")
+        assert large.stats()["ast_nodes"] > 2.5 * small.stats()["ast_nodes"]
+        assert large.stats()["seq_nodes"] > small.stats()["seq_nodes"]
+
+    def test_clear_resets_accumulators(self):
+        b, flow = self._flow()
+        sim = flow.simulator(n=1)
+        b.preload(sim)
+        stim = b.make_stimulus(1, 30, seed=6)
+        sim.run(stim)
+        sim.set_inputs({"clear": 1})
+        sim.cycle()
+        assert sim.get("checksum")[0] == 0
+        assert sim.get("state_out")[0] == 0
+
+
+class TestLibrary:
+    def test_list_designs(self):
+        names = list_designs()
+        assert {"riscv_mini", "spinal", "nvdla", "counter"} <= set(names)
+
+    def test_unknown_design(self):
+        with pytest.raises(ReproError):
+            get_design("nope")
+
+    @pytest.mark.parametrize("name", ["counter", "spinal", "nvdla", "riscv_mini"])
+    def test_bundles_simulate(self, name):
+        b = get_design(name)
+        flow = RTLFlow.from_source(b.source, b.top)
+        sim = flow.simulator(n=2)
+        b.preload(sim)
+        stim = b.make_stimulus(2, 10, seed=0)
+        outs = sim.run(stim)
+        assert set(outs) == {s.name for s in flow.design.outputs}
+
+
+class TestMicroDesigns:
+    @pytest.mark.parametrize(
+        "src,top",
+        [(COUNTER, "counter"), (ALU, "alu"), (FIFO, "fifo"),
+         (GRAY_PIPELINE, "graypipe")],
+    )
+    def test_compile_and_run(self, src, top):
+        flow = RTLFlow.from_source(src, top)
+        sim = flow.simulator(n=2)
+        from repro.stimulus.generator import random_batch
+
+        stim = random_batch(flow.design, 2, 10, seed=0)
+        sim.run(stim)
+
+    def test_fifo_fill_and_drain(self):
+        flow = RTLFlow.from_source(FIFO, "fifo")
+        sim = flow.simulator(n=1)
+        sim.cycle({"rst": 1, "push": 0, "pop": 0, "din": 0})
+        for i in range(8):
+            sim.cycle({"rst": 0, "push": 1, "pop": 0, "din": 10 + i})
+        assert sim.get("full")[0] == 1
+        assert sim.get("count")[0] == 8
+        got = []
+        for _ in range(8):
+            got.append(int(sim.get("dout")[0]))
+            sim.cycle({"rst": 0, "push": 0, "pop": 1, "din": 0})
+        assert sim.get("empty")[0] == 1
+        assert got == [10 + i for i in range(8)]
+
+
+class TestRiscvSort:
+    def _model(self, seed):
+        """Python model of the sort8 program."""
+        s = seed
+        mem = []
+        for _ in range(8):
+            s = (s * 5 + 7) & 0xFF
+            mem.append(s)
+        mem.sort()
+        return sum(v * (i + 1) for i, v in enumerate(mem)) & 0xFFFFFFFF
+
+    def test_sort8_matches_python_model(self):
+        io = np.array([0, 1, 42, 65535], dtype=np.uint64)
+        sim = _run_program("sort8", 3000, n=4, io_in=io)
+        assert np.all(sim.get("halted") == 1)
+        got = [int(v) for v in sim.get("io_out_port")]
+        expect = [self._model(int(v)) for v in io]
+        assert got == expect

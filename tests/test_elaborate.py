@@ -1,0 +1,256 @@
+"""Tests for elaboration: flattening, parameters, lowering, widths."""
+
+import pytest
+
+from repro.elaborate.constfold import eval_const, fold_expr
+from repro.elaborate.elaborator import elaborate
+from repro.elaborate.symexec import lower
+from repro.rtlir.build import build_graph
+from repro.utils.errors import (
+    ElaborationError,
+    UnsupportedFeatureError,
+    WidthError,
+)
+from repro.verilog import ast_nodes as A
+from repro.verilog.parser import parse_source
+
+from tests.conftest import ALU_V, COUNTER_V, HIER_V, MEMDUT_V, compile_graph
+
+
+def flat(src, top):
+    return elaborate(parse_source(src), top)
+
+
+class TestConstFold:
+    def test_eval_arith(self):
+        e = parse_source(
+            "module m; parameter P = 3 + 4 * 2; endmodule"
+        ).modules[0].params()[0].value
+        assert eval_const(e) == 11
+
+    def test_eval_with_env(self):
+        e = parse_source(
+            "module m; parameter P = W * 2 - 1; endmodule"
+        ).modules[0].params()[0].value
+        assert eval_const(e, {"W": 8}) == 15
+
+    def test_eval_ternary(self):
+        e = parse_source(
+            "module m; parameter P = (2 > 1) ? 10 : 20; endmodule"
+        ).modules[0].params()[0].value
+        assert eval_const(e) == 10
+
+    def test_non_constant_raises(self):
+        e = A.Ident("x")
+        with pytest.raises(ElaborationError):
+            eval_const(e)
+
+    def test_fold_identities(self):
+        e = fold_expr(A.Binary("+", A.Ident("x"), A.Number(0)))
+        assert isinstance(e, A.Ident)
+        e = fold_expr(A.Binary("*", A.Ident("x"), A.Number(1)))
+        assert isinstance(e, A.Ident)
+        e = fold_expr(A.Binary("&", A.Ident("x"), A.Number(0)))
+        assert isinstance(e, A.Number) and e.value == 0
+
+    def test_fold_constant_subtree(self):
+        e = fold_expr(A.Binary("+", A.Number(2), A.Binary("*", A.Number(3), A.Number(4))))
+        assert isinstance(e, A.Number) and e.value == 14
+
+
+class TestFlattening:
+    def test_counter_signals(self):
+        d = flat(COUNTER_V, "counter")
+        assert d.signals["clk"].kind == "input"
+        assert d.signals["count"].kind == "output"
+        assert d.signals["q"].kind == "reg"
+        assert d.signals["q"].width == 8
+
+    def test_parameter_override_changes_width(self):
+        src = COUNTER_V + (
+            "module top(input wire clk, input wire rst, input wire en,"
+            " output wire [15:0] c);\n"
+            " counter #(.W(16)) u0 (.clk(clk), .rst(rst), .en(en), .count(c));\n"
+            "endmodule"
+        )
+        d = flat(src, "top")
+        assert d.signals["u0.q"].width == 16
+        assert d.n_cells == 1
+
+    def test_hierarchy_names(self):
+        d = flat(HIER_V, "adder4")
+        # Internal wires keep their cell-qualified names...
+        assert "fa0.s1" in d.signals
+        assert "fa0.c1" in d.signals
+        assert d.n_cells == 4 + 8  # 4 full adders + 2 half adders each
+
+    def test_port_collapsing_aliases_simple_connections(self):
+        d = flat(HIER_V, "adder4")
+        # ...but ports bound to plain identifiers collapse into the parent
+        # signal (Verilator-style port inlining): fa0's cin IS top's cin.
+        assert "fa0.cin" not in d.signals
+        assert "fa0.ha0.a" not in d.signals
+
+    def test_clock_port_collapses_into_parent_clock(self):
+        src = """
+        module tick(input wire clk, output wire [3:0] n);
+            reg [3:0] c;
+            always @(posedge clk) c <= c + 1;
+            assign n = c;
+        endmodule
+        module top(input wire clk, output wire [3:0] n);
+            tick t0 (.clk(clk), .n(n));
+        endmodule
+        """
+        d = lower(flat(src, "top"))
+        # The child's clocked block must be clocked by the real top clock,
+        # otherwise edges are invisible to the simulator.
+        assert d.seq[0].clock == "clk"
+
+    def test_unknown_module(self):
+        with pytest.raises(ElaborationError):
+            flat("module top; nosuch u0 (); endmodule", "top")
+
+    def test_unknown_port(self):
+        src = (
+            "module sub(input wire a); endmodule\n"
+            "module top(input wire x); sub s (.b(x)); endmodule"
+        )
+        with pytest.raises(ElaborationError):
+            flat(src, "top")
+
+    def test_memory_elaborated(self):
+        d = flat(MEMDUT_V, "memdut")
+        assert d.memories["mem"].width == 8
+        assert d.memories["mem"].depth == 16
+
+    def test_width_cap_enforced(self):
+        # Wide signals are supported up to 512 bits; beyond that is an error.
+        flat("module m(input wire [64:0] x); endmodule", "m")  # 65 bits: ok
+        with pytest.raises(WidthError):
+            flat("module m(input wire [512:0] x); endmodule", "m")
+
+    def test_wide_memory_elements_rejected(self):
+        with pytest.raises(WidthError):
+            flat("module m; reg [64:0] mem [0:3]; endmodule", "m")
+
+    def test_duplicate_signal(self):
+        with pytest.raises(ElaborationError):
+            flat("module m; wire x; wire x; endmodule", "m")
+
+    def test_partial_output_bindings_merge(self):
+        d = flat(HIER_V, "adder4")
+        lowered = lower(d)
+        # s must have exactly one comb driver after merging the four
+        # bit-level instance bindings.
+        drivers = [c for c in lowered.comb if c.target == "s"]
+        assert len(drivers) == 1
+
+
+class TestLowering:
+    def test_counter_seq_block(self):
+        d = lower(flat(COUNTER_V, "counter"))
+        assert len(d.seq) == 1
+        blk = d.seq[0]
+        assert blk.clock == "clk"
+        assert blk.edge == "posedge"
+        assert [u.target for u in blk.updates] == ["q"]
+        # if/else chain must have become a mux tree
+        assert isinstance(blk.updates[0].expr, A.Ternary)
+
+    def test_alu_case_lowered_to_mux_tree(self):
+        d = lower(flat(ALU_V, "alu"))
+        y = [c for c in d.comb if c.target == "y"][0]
+        assert isinstance(y.expr, A.Ternary)
+
+    def test_memory_write_guarded(self):
+        d = lower(flat(MEMDUT_V, "memdut"))
+        blk = d.seq[0]
+        assert len(blk.mem_writes) == 1
+        mw = blk.mem_writes[0]
+        assert mw.mem == "mem"
+        # The guard must reference the write-enable.
+        assert "we" in A.expr_reads(mw.cond)
+
+    def test_blocking_in_seq_allowed(self):
+        src = (
+            "module m(input wire clk, input wire [3:0] a, output wire [3:0] o);\n"
+            "reg [3:0] t, q;\n"
+            "always @(posedge clk) begin t = a + 1; q <= t + 1; end\n"
+            "assign o = q;\nendmodule"
+        )
+        d = lower(flat(src, "m"))
+        targets = {u.target for u in d.seq[0].updates}
+        assert targets == {"t", "q"}
+
+    def test_mixed_styles_on_same_reg_rejected(self):
+        src = (
+            "module m(input wire clk, input wire a);\n"
+            "reg q;\n"
+            "always @(posedge clk) begin q = a; q <= a; end\nendmodule"
+        )
+        with pytest.raises(UnsupportedFeatureError):
+            lower(flat(src, "m"))
+
+    def test_nonblocking_in_comb_rejected(self):
+        src = "module m(input wire a, output reg y); always @* y <= a; endmodule"
+        with pytest.raises(UnsupportedFeatureError):
+            lower(flat(src, "m"))
+
+    def test_multiple_drivers_rejected(self):
+        src = (
+            "module m(input wire a, output wire y);\n"
+            "assign y = a;\nassign y = ~a;\nendmodule"
+        )
+        with pytest.raises(ElaborationError):
+            lower(flat(src, "m"))
+
+    def test_async_reset_becomes_pseudo_async(self):
+        src = (
+            "module m(input wire clk, input wire rst, output reg q);\n"
+            "always @(posedge clk or posedge rst)\n"
+            "  if (rst) q <= 0; else q <= 1;\nendmodule"
+        )
+        d = lower(flat(src, "m"))
+        assert d.seq[0].clock == "clk"
+        assert d.seq[0].pseudo_async == ["rst"]
+
+
+class TestGraphBuild:
+    def test_counter_graph_shape(self, counter_graph):
+        g = counter_graph
+        assert len(g.seq_nodes) == 1
+        assert len(g.comb_nodes) >= 1
+        assert g.comb_order  # levelized
+
+    def test_levels_are_dependency_consistent(self):
+        g = compile_graph(HIER_V, "adder4")
+        level = {n.nid: n.level for n in g.comb_nodes}
+        for nid, ps in g.preds.items():
+            for p in ps:
+                assert level[p] < level[nid]
+
+    def test_comb_loop_detected(self):
+        src = (
+            "module m(input wire a, output wire y);\n"
+            "wire x;\nassign x = y & a;\nassign y = x | a;\nendmodule"
+        )
+        with pytest.raises(ElaborationError) as ei:
+            compile_graph(src, "m")
+        assert "loop" in str(ei.value)
+
+    def test_self_loop_detected(self):
+        src = "module m(input wire a, output wire y); assign y = y ^ a; endmodule"
+        with pytest.raises(ElaborationError):
+            compile_graph(src, "m")
+
+    def test_op_histogram_populated(self, alu_graph):
+        hist = alu_graph.op_histogram()
+        assert hist["mux"] > 0
+        assert hist["varref"] > 0
+        assert alu_graph.top_op_types(5)
+
+    def test_stats(self, counter_graph):
+        s = counter_graph.stats()
+        assert s["seq_nodes"] == 1
+        assert s["signals"] >= 4

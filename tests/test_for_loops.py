@@ -1,0 +1,173 @@
+"""Tests for constant-bounded procedural for loops (unrolled)."""
+
+import numpy as np
+import pytest
+
+from repro import RTLFlow
+from repro.elaborate.elaborator import elaborate
+from repro.elaborate.symexec import lower
+from repro.utils.errors import ElaborationError, UnsupportedFeatureError
+from repro.verilog.parser import parse_source
+
+from tests.conftest import compile_graph
+from tests.helpers import assert_batch_matches_reference
+
+POPCOUNT_V = """
+module popcount (
+    input wire [15:0] x,
+    output reg [4:0] ones
+);
+    integer i;
+    always @* begin
+        ones = 0;
+        for (i = 0; i < 16; i = i + 1)
+            ones = ones + x[i];
+    end
+endmodule
+"""
+
+XORFOLD_SEQ_V = """
+module xorfold (
+    input wire clk,
+    input wire [31:0] din,
+    output wire [7:0] folded
+);
+    integer k;
+    reg [7:0] acc;
+    always @(posedge clk) begin
+        acc = 0;
+        for (k = 0; k < 4; k = k + 1)
+            acc = acc ^ din[8*k +: 8];
+    end
+    assign folded = acc;
+endmodule
+"""
+
+NESTED_V = """
+module nested (
+    input wire [3:0] a,
+    output reg [7:0] total
+);
+    integer i, j;
+    always @* begin
+        total = 0;
+        for (i = 0; i < 4; i = i + 1)
+            for (j = 0; j < 2; j = j + 1)
+                total = total + a[i] + j;
+    end
+endmodule
+"""
+
+PARAM_BOUND_V = """
+module pbound #(parameter TAPS = 5) (
+    input wire [31:0] x,
+    output reg [31:0] s
+);
+    integer i;
+    always @* begin
+        s = 0;
+        for (i = 0; i < TAPS; i = i + 1)
+            s = s + (x >> i);
+    end
+endmodule
+"""
+
+
+class TestUnrolling:
+    def test_popcount_matches_reference(self):
+        assert_batch_matches_reference(POPCOUNT_V, "popcount", n=32, cycles=6)
+
+    def test_popcount_values(self):
+        flow = RTLFlow.from_source(POPCOUNT_V, "popcount")
+        sim = flow.simulator(n=3)
+        sim.set_input("x", np.array([0, 0xFFFF, 0b1010101010101010],
+                                    dtype=np.uint64))
+        sim.evaluate()
+        assert list(sim.get("ones")) == [0, 16, 8]
+
+    def test_sequential_with_blocking_loop(self):
+        assert_batch_matches_reference(XORFOLD_SEQ_V, "xorfold", n=8, cycles=10)
+
+    def test_nested_loops(self):
+        assert_batch_matches_reference(NESTED_V, "nested", n=16, cycles=4)
+
+    def test_parameter_bound(self):
+        src = PARAM_BOUND_V + """
+        module top(input wire [31:0] x, output wire [31:0] s);
+            pbound #(.TAPS(3)) u (.x(x), .s(s));
+        endmodule
+        """
+        flow = RTLFlow.from_source(src, "top")
+        sim = flow.simulator(n=1)
+        sim.set_input("x", 8)
+        sim.evaluate()
+        # s = x + x>>1 + x>>2 = 8 + 4 + 2
+        assert int(sim.get("s")[0]) == 14
+
+    def test_zero_iterations(self):
+        src = """
+        module z(input wire [7:0] a, output reg [7:0] y);
+            integer i;
+            always @* begin
+                y = a;
+                for (i = 0; i < 0; i = i + 1) y = 0;
+            end
+        endmodule
+        """
+        flow = RTLFlow.from_source(src, "z")
+        sim = flow.simulator(n=1)
+        sim.set_input("a", 42)
+        sim.evaluate()
+        assert int(sim.get("y")[0]) == 42
+
+
+class TestRejections:
+    def _lower(self, src, top):
+        return lower(elaborate(parse_source(src), top))
+
+    def test_nonconstant_bound_rejected(self):
+        src = """
+        module m(input wire [7:0] n, output reg [7:0] y);
+            integer i;
+            always @* begin
+                y = 0;
+                for (i = 0; i < n; i = i + 1) y = y + 1;
+            end
+        endmodule
+        """
+        with pytest.raises(UnsupportedFeatureError):
+            self._lower(src, "m")
+
+    def test_undeclared_loop_var(self):
+        src = """
+        module m(input wire a, output reg y);
+            always @* begin
+                y = a;
+                for (i = 0; i < 2; i = i + 1) y = ~y;
+            end
+        endmodule
+        """
+        with pytest.raises(ElaborationError):
+            self._lower(src, "m")
+
+    def test_wrong_update_var_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_source(
+                "module m(input wire a); integer i, j;\n"
+                "always @* for (i = 0; i < 2; j = j + 1) ;\nendmodule"
+            )
+
+    def test_runaway_loop_rejected(self):
+        # i >= 0 is always true for unsigned i: the unroll guard trips.
+        src = """
+        module m(input wire a, output reg y);
+            integer i;
+            always @* begin
+                y = a;
+                for (i = 10; i >= 0; i = i - 1) y = ~y;
+            end
+        endmodule
+        """
+        with pytest.raises(ElaborationError) as ei:
+            self._lower(src, "m")
+        assert "unroll" in str(ei.value) or "iterations" in str(ei.value)

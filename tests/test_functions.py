@@ -1,0 +1,189 @@
+"""Tests for user-defined Verilog functions (inlined at lowering)."""
+
+import numpy as np
+import pytest
+
+from repro import RTLFlow
+from repro.elaborate.elaborator import elaborate
+from repro.elaborate.symexec import lower
+from repro.utils.errors import ElaborationError
+from repro.verilog.parser import parse_source
+
+from tests.helpers import assert_batch_matches_reference
+
+MAX3_V = """
+module max3 (
+    input wire [7:0] a,
+    input wire [7:0] b,
+    input wire [7:0] c,
+    output wire [7:0] biggest
+);
+    function [7:0] max2(input [7:0] x, input [7:0] y);
+        max2 = (x > y) ? x : y;
+    endfunction
+
+    assign biggest = max2(max2(a, b), c);
+endmodule
+"""
+
+CLASSIC_STYLE_V = """
+module grayenc (
+    input wire [7:0] binv,
+    output wire [7:0] gray
+);
+    function [7:0] to_gray;
+        input [7:0] v;
+        begin
+            to_gray = v ^ (v >> 1);
+        end
+    endfunction
+
+    assign gray = to_gray(binv);
+endmodule
+"""
+
+FUNC_IN_ALWAYS_V = """
+module fa (
+    input wire clk,
+    input wire [7:0] d,
+    output wire [7:0] q
+);
+    function [7:0] twist(input [7:0] v);
+        reg [7:0] t;
+        begin
+            t = v ^ 8'h5A;
+            twist = {t[3:0], t[7:4]};
+        end
+    endfunction
+
+    reg [7:0] r;
+    always @(posedge clk) r <= twist(d) + twist(r);
+    assign q = r;
+endmodule
+"""
+
+FUNC_WITH_LOOP_V = """
+module oneslow (
+    input wire [15:0] x,
+    output wire [4:0] n
+);
+    function [4:0] count_ones(input [15:0] v);
+        integer i;
+        begin
+            count_ones = 0;
+            for (i = 0; i < 16; i = i + 1)
+                count_ones = count_ones + v[i];
+        end
+    endfunction
+
+    assign n = count_ones(x);
+endmodule
+"""
+
+TRUNCATION_V = """
+module tr (
+    input wire [15:0] wide_in,
+    output wire [7:0] y
+);
+    function [7:0] low(input [3:0] nib);
+        low = {4'd0, nib};
+    endfunction
+
+    assign y = low(wide_in);   // actual truncated at the 4-bit formal
+endmodule
+"""
+
+
+class TestFunctions:
+    def test_nested_calls_match_reference(self):
+        assert_batch_matches_reference(MAX3_V, "max3", n=32, cycles=8)
+
+    def test_max3_values(self):
+        flow = RTLFlow.from_source(MAX3_V, "max3")
+        sim = flow.simulator(n=3)
+        sim.set_inputs({
+            "a": np.array([1, 9, 5], dtype=np.uint64),
+            "b": np.array([7, 2, 5], dtype=np.uint64),
+            "c": np.array([3, 4, 6], dtype=np.uint64),
+        })
+        sim.evaluate()
+        assert list(sim.get("biggest")) == [7, 9, 6]
+
+    def test_classic_declaration_style(self):
+        assert_batch_matches_reference(CLASSIC_STYLE_V, "grayenc", n=16, cycles=6)
+
+    def test_call_in_sequential_block(self):
+        assert_batch_matches_reference(FUNC_IN_ALWAYS_V, "fa", n=16, cycles=15)
+
+    def test_function_with_for_loop(self):
+        flow = RTLFlow.from_source(FUNC_WITH_LOOP_V, "oneslow")
+        sim = flow.simulator(n=2)
+        sim.set_input("x", np.array([0xFFFF, 0x0101], dtype=np.uint64))
+        sim.evaluate()
+        assert list(sim.get("n")) == [16, 2]
+
+    def test_actual_truncated_at_formal_width(self):
+        flow = RTLFlow.from_source(TRUNCATION_V, "tr")
+        sim = flow.simulator(n=1)
+        sim.set_input("wide_in", 0x12F7)
+        sim.evaluate()
+        assert int(sim.get("y")[0]) == 0x7  # only the low nibble survives
+
+    def test_blocking_value_visible_to_function(self):
+        src = """
+        module m(input wire [7:0] a, output reg [7:0] y);
+            reg [7:0] t;
+            function [7:0] addt(input [7:0] v);
+                addt = v + t;      // reads the module signal t
+            endfunction
+            always @* begin
+                t = a + 1;
+                y = addt(a);       // must see t = a + 1
+            end
+        endmodule
+        """
+        flow = RTLFlow.from_source(src, "m")
+        sim = flow.simulator(n=1)
+        sim.set_input("a", 10)
+        sim.evaluate()
+        assert int(sim.get("y")[0]) == 21
+
+
+class TestFunctionErrors:
+    def _lower(self, src, top):
+        return lower(elaborate(parse_source(src), top))
+
+    def test_unknown_function(self):
+        src = "module m(input wire a, output wire y); assign y = nope(a); endmodule"
+        with pytest.raises(ElaborationError):
+            self._lower(src, "m")
+
+    def test_wrong_arity(self):
+        src = MAX3_V.replace("max2(a, b)", "max2(a)")
+        with pytest.raises(ElaborationError):
+            self._lower(src, "max3")
+
+    def test_recursion_rejected(self):
+        src = """
+        module m(input wire [7:0] a, output wire [7:0] y);
+            function [7:0] f(input [7:0] v);
+                f = f(v) + 1;
+            endfunction
+            assign y = f(a);
+        endmodule
+        """
+        with pytest.raises(ElaborationError) as ei:
+            self._lower(src, "m")
+        assert "recursi" in str(ei.value) or "depth" in str(ei.value)
+
+    def test_function_without_inputs_rejected(self):
+        from repro.utils.errors import UnsupportedFeatureError
+
+        src = """
+        module m(output wire y);
+            function f; f = 1'b1; endfunction
+            assign y = f();
+        endmodule
+        """
+        with pytest.raises(UnsupportedFeatureError):
+            parse_source(src)

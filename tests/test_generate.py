@@ -1,0 +1,174 @@
+"""Tests for generate regions (for/if, scoped declarations)."""
+
+import numpy as np
+import pytest
+
+from repro import RTLFlow
+from repro.utils.errors import ElaborationError, UnsupportedFeatureError
+from repro.verilog.parser import parse_source
+
+from tests.helpers import assert_batch_matches_reference
+
+RIPPLE_GEN_V = """
+module fa1(input wire a, input wire b, input wire cin,
+           output wire s, output wire cout);
+    assign s = a ^ b ^ cin;
+    assign cout = (a & b) | (cin & (a ^ b));
+endmodule
+
+module ripple #(parameter W = 8) (
+    input wire [W-1:0] a,
+    input wire [W-1:0] b,
+    input wire cin,
+    output wire [W-1:0] s,
+    output wire cout
+);
+    wire [W:0] carry;
+    assign carry[0] = cin;
+    genvar i;
+    generate
+        for (i = 0; i < W; i = i + 1) begin : bit
+            fa1 u (.a(a[i]), .b(b[i]), .cin(carry[i]),
+                   .s(s[i]), .cout(carry[i+1]));
+        end
+    endgenerate
+    assign cout = carry[W];
+endmodule
+"""
+
+SCOPED_DECL_V = """
+module stages (
+    input wire clk,
+    input wire [7:0] din,
+    output wire [7:0] dout
+);
+    wire [7:0] link0, link1, link2, link3;
+    assign link0 = din;
+    genvar g;
+    generate
+        for (g = 0; g < 3; g = g + 1) begin : st
+            reg [7:0] r;                       // scoped: st[g].r
+            wire [7:0] nxt = (g == 0) ? link0 :
+                             (g == 1) ? link1 : link2;
+            always @(posedge clk) r <= nxt + g;
+        end
+    endgenerate
+    assign link1 = st[0].r;
+    assign link2 = st[1].r;
+    assign link3 = st[2].r;
+    assign dout = link3;
+endmodule
+"""
+
+GEN_IF_V = """
+module condsum #(parameter FAST = 1) (
+    input wire [7:0] a,
+    input wire [7:0] b,
+    output wire [7:0] y
+);
+    generate
+        if (FAST)
+            assign y = a + b;
+        else begin
+            assign y = a ^ b;
+        end
+    endgenerate
+endmodule
+"""
+
+
+class TestGenerateFor:
+    def test_ripple_adder_matches_reference(self):
+        assert_batch_matches_reference(RIPPLE_GEN_V, "ripple", n=32, cycles=8)
+
+    def test_ripple_adder_values(self):
+        flow = RTLFlow.from_source(RIPPLE_GEN_V, "ripple")
+        sim = flow.simulator(n=3)
+        sim.set_inputs({
+            "a": np.array([200, 255, 17], dtype=np.uint64),
+            "b": np.array([100, 1, 21], dtype=np.uint64),
+            "cin": np.array([0, 0, 1], dtype=np.uint64),
+        })
+        sim.evaluate()
+        assert list(sim.get("s")) == [(300) & 0xFF, 0, 39]
+        assert list(sim.get("cout")) == [1, 1, 0]
+
+    def test_parameterized_width(self):
+        src = RIPPLE_GEN_V + """
+        module top(input wire [15:0] a, input wire [15:0] b,
+                   output wire [15:0] s, output wire cout);
+            ripple #(.W(16)) u (.a(a), .b(b), .cin(1'b0),
+                                .s(s), .cout(cout));
+        endmodule
+        """
+        flow = RTLFlow.from_source(src, "top")
+        sim = flow.simulator(n=1)
+        sim.set_inputs({"a": 40000, "b": 30000})
+        sim.evaluate()
+        assert int(sim.get("s")[0]) == (70000) & 0xFFFF
+        assert int(sim.get("cout")[0]) == 1
+
+    def test_scoped_declarations_and_hierarchy_refs(self):
+        assert_batch_matches_reference(SCOPED_DECL_V, "stages", n=8, cycles=12)
+
+    def test_scoped_names_in_flat_design(self):
+        flow = RTLFlow.from_source(SCOPED_DECL_V, "stages", optimize=False)
+        names = set(flow.design.signals)
+        assert "st[0].r" in names
+        assert "st[2].r" in names
+
+    def test_unlabelled_generate_for_rejected(self):
+        src = """
+        module m(input wire a);
+            genvar i;
+            generate for (i = 0; i < 2; i = i + 1) begin
+                wire w;
+            end endgenerate
+        endmodule
+        """
+        with pytest.raises(UnsupportedFeatureError):
+            parse_source(src)
+
+    def test_runaway_generate_rejected(self):
+        src = """
+        module m(input wire a, output wire y);
+            genvar i;
+            generate for (i = 0; i >= 0; i = i + 1) begin : g
+                wire w;
+            end endgenerate
+            assign y = a;
+        endmodule
+        """
+        with pytest.raises(ElaborationError) as ei:
+            RTLFlow.from_source(src, "m")
+        assert "iterations" in str(ei.value)
+
+
+class TestGenerateIf:
+    @pytest.mark.parametrize("fast,expect", [(1, 30), (0, 30 ^ 0 ^ 0)])
+    def test_branch_selection(self, fast, expect):
+        src = GEN_IF_V + f"""
+        module top(input wire [7:0] a, input wire [7:0] b,
+                   output wire [7:0] y);
+            condsum #(.FAST({fast})) u (.a(a), .b(b), .y(y));
+        endmodule
+        """
+        flow = RTLFlow.from_source(src, "top")
+        sim = flow.simulator(n=1)
+        sim.set_inputs({"a": 10, "b": 20})
+        sim.evaluate()
+        expected = (10 + 20) if fast else (10 ^ 20)
+        assert int(sim.get("y")[0]) == expected
+
+    def test_without_generate_keyword(self):
+        src = """
+        module m #(parameter P = 1) (input wire a, output wire y);
+            if (P) assign y = a;
+            else assign y = ~a;
+        endmodule
+        """
+        flow = RTLFlow.from_source(src, "m")
+        sim = flow.simulator(n=1)
+        sim.set_input("a", 1)
+        sim.evaluate()
+        assert int(sim.get("y")[0]) == 1

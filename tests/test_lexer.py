@@ -1,0 +1,116 @@
+"""Unit tests for the Verilog lexer."""
+
+import pytest
+
+from repro.utils.errors import VerilogSyntaxError
+from repro.verilog.lexer import TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]  # drop EOF
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestNumbers:
+    def test_plain_decimal(self):
+        t = tokenize("42")[0]
+        assert t.kind is TokenKind.NUMBER
+        assert t.value == 42
+        assert t.size is None
+
+    def test_decimal_with_underscores(self):
+        assert tokenize("1_000_000")[0].value == 1000000
+
+    def test_sized_hex(self):
+        t = tokenize("8'hFF")[0]
+        assert t.value == 255
+        assert t.size == 8
+
+    def test_sized_binary(self):
+        t = tokenize("4'b1010")[0]
+        assert t.value == 0b1010
+        assert t.size == 4
+
+    def test_sized_octal(self):
+        t = tokenize("6'o77")[0]
+        assert t.value == 0o77
+        assert t.size == 6
+
+    def test_sized_decimal(self):
+        t = tokenize("10'd1023")[0]
+        assert t.value == 1023
+        assert t.size == 10
+
+    def test_oversized_value_truncated(self):
+        t = tokenize("4'hFF")[0]
+        assert t.value == 0xF
+
+    def test_x_digits_read_as_zero(self):
+        t = tokenize("4'b1x0z")[0]
+        assert t.value == 0b1000
+
+    def test_xz_mask_binary(self):
+        t = tokenize("4'b1?0?")[0]
+        assert t.xz_mask == 0b0101
+
+    def test_xz_mask_hex_digit(self):
+        t = tokenize("8'hx5")[0]
+        assert t.xz_mask == 0xF0
+        assert t.value == 0x05
+
+    def test_space_between_size_and_base(self):
+        t = tokenize("8 'hA5")[0]
+        assert t.value == 0xA5
+        assert t.size == 8
+
+    def test_unsized_based(self):
+        t = tokenize("'h10")[0]
+        assert t.value == 16
+        assert t.size is None
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(VerilogSyntaxError):
+            tokenize("0'h1")
+
+
+class TestOperators:
+    def test_multichar_ops_lex_greedily(self):
+        assert texts("a <= b") == ["a", "<=", "b"]
+        assert texts("a <<< 2") == ["a", "<<<", "2"]
+        assert texts("a == b != c") == ["a", "==", "b", "!=", "c"]
+        assert texts("x +: 4") == ["x", "+:", "4"]
+
+    def test_nand_nor_xnor(self):
+        assert texts("~& ~| ~^ ^~") == ["~&", "~|", "~^", "^~"]
+
+    def test_shift_vs_relational(self):
+        assert texts("a >> 1 > b") == ["a", ">>", "1", ">", "b"]
+
+
+class TestIdentifiers:
+    def test_keywords_recognized(self):
+        toks = tokenize("module foo; endmodule")
+        assert toks[0].kind is TokenKind.KEYWORD
+        assert toks[1].kind is TokenKind.IDENT
+        assert toks[3].kind is TokenKind.KEYWORD
+
+    def test_underscore_and_dollar(self):
+        assert tokenize("_x$y")[0].text == "_x$y"
+
+    def test_line_and_col_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_unexpected_char(self):
+        with pytest.raises(VerilogSyntaxError):
+            tokenize("a \x01 b")
+
+
+class TestEOF:
+    def test_stream_ends_with_eof(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+        assert tokenize("a b")[-1].kind is TokenKind.EOF

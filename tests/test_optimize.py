@@ -1,0 +1,164 @@
+"""Tests for the Verilator-lineage optimization passes."""
+
+import numpy as np
+import pytest
+
+from repro import RTLFlow
+from repro.elaborate.elaborator import elaborate
+from repro.elaborate.optimize import optimize_design, push_inverters
+from repro.elaborate.symexec import lower
+from repro.rtlir.build import build_graph
+from repro.stimulus.generator import random_batch
+from repro.verilog import ast_nodes as A
+from repro.verilog.parser import parse_source
+
+from tests.conftest import HIER_V, compile_graph
+from tests.helpers import batch_traces, reference_traces
+
+
+def lowered(src, top):
+    return lower(elaborate(parse_source(src), top))
+
+
+ALIAS_V = """
+module m (
+    input wire clk,
+    input wire [7:0] a,
+    output wire [7:0] o
+);
+    wire [7:0] t1, t2, t3, unused;
+    reg [7:0] q;
+    assign t1 = a;
+    assign t2 = t1;
+    assign t3 = t2 + 1;
+    assign unused = t3 * 3;      // dead: drives nothing
+    always @(posedge clk) q <= t3;
+    assign o = q;
+endmodule
+"""
+
+
+class TestCopyPropAndDce:
+    def test_aliases_removed(self):
+        d = optimize_design(lowered(ALIAS_V, "m"))
+        targets = {c.target for c in d.comb}
+        assert "t1" not in targets
+        assert "t2" not in targets
+        assert "t3" in targets  # real logic survives
+
+    def test_dead_node_removed(self):
+        d = optimize_design(lowered(ALIAS_V, "m"))
+        targets = {c.target for c in d.comb}
+        assert "unused" not in targets
+        assert "unused" not in d.signals
+
+    def test_outputs_inputs_registers_kept(self):
+        d = optimize_design(lowered(ALIAS_V, "m"))
+        for name in ("a", "o", "q", "clk"):
+            assert name in d.signals
+
+    def test_semantics_preserved(self):
+        raw = lowered(ALIAS_V, "m")
+        opt = optimize_design(lowered(ALIAS_V, "m"))
+        g_raw = build_graph(raw)
+        g_opt = build_graph(opt)
+        stim = random_batch(g_raw.design, 6, 20, seed=2)
+        a = reference_traces(g_raw, stim, ["o"])
+        b = reference_traces(g_opt, stim, ["o"])
+        assert np.array_equal(a["o"], b["o"])
+
+    def test_intermediate_wire_chains_collapse(self):
+        src = """
+        module stagewire(input wire [7:0] x, output wire [7:0] y);
+            wire [7:0] mid;
+            assign mid = x;
+            assign y = mid;
+        endmodule
+        module chain(input wire [7:0] a, output wire [7:0] z);
+            wire [7:0] w1, w2;
+            stagewire s0 (.x(a), .y(w1));
+            stagewire s1 (.x(w1), .y(w2));
+            assign z = w2 + 1;
+        endmodule
+        """
+        raw = lowered(src, "chain")
+        opt = optimize_design(lowered(src, "chain"))
+        assert len(opt.comb) < len(raw.comb)
+        # All the pass-through wires fold into one arithmetic node.
+        assert len(opt.comb) == 1
+        g_raw = build_graph(raw)
+        g_opt = build_graph(opt)
+        stim = random_batch(g_raw.design, 8, 10, seed=3)
+        a = batch_traces(g_raw, stim, ["z"])
+        b = batch_traces(g_opt, stim, ["z"])
+        assert np.array_equal(a["z"], b["z"])
+
+    def test_width_changing_assign_not_aliased(self):
+        src = """
+        module m(input wire [7:0] a, output wire [7:0] o);
+            wire [3:0] narrow;
+            assign narrow = a;        // truncation: NOT a pure alias
+            assign o = {4'd0, narrow};
+        endmodule
+        """
+        d = optimize_design(lowered(src, "m"))
+        assert any(c.target == "narrow" for c in d.comb)
+
+    def test_flow_level_flag(self):
+        flow_opt = RTLFlow.from_source(ALIAS_V, "m", optimize=True)
+        flow_raw = RTLFlow.from_source(ALIAS_V, "m", optimize=False)
+        assert (
+            flow_opt.graph.stats()["comb_nodes"]
+            < flow_raw.graph.stats()["comb_nodes"]
+        )
+        n = 4
+        stim = random_batch(flow_raw.design, n, 15, seed=1)
+        a = flow_opt.simulator(n).run(stim)
+        b = flow_raw.simulator(n).run(stim)
+        assert np.array_equal(a["o"], b["o"])
+
+
+class TestInverterPushing:
+    def test_double_bitwise_not(self):
+        e = push_inverters(A.Unary("~", A.Unary("~", A.Ident("x"))))
+        assert isinstance(e, A.Ident)
+
+    def test_negated_comparison(self):
+        e = push_inverters(
+            A.Unary("!", A.Binary("==", A.Ident("a"), A.Ident("b")))
+        )
+        assert isinstance(e, A.Binary) and e.op == "!="
+
+    def test_demorgan_and(self):
+        e = push_inverters(
+            A.Unary("!", A.Binary("&&", A.Ident("a"), A.Ident("b")))
+        )
+        assert isinstance(e, A.Binary) and e.op == "||"
+        assert isinstance(e.left, A.Unary) and e.left.op == "!"
+
+    def test_not_not_becomes_nonzero_test(self):
+        e = push_inverters(A.Unary("!", A.Unary("!", A.Ident("x"))))
+        assert isinstance(e, A.Binary) and e.op == "!="
+
+    def test_inverted_mux_condition_swaps_arms(self):
+        e = push_inverters(
+            A.Ternary(A.Unary("!", A.Ident("c")), A.Ident("t"), A.Ident("f"))
+        )
+        assert isinstance(e, A.Ternary)
+        assert isinstance(e.cond, A.Ident)
+        assert e.then.name == "f" and e.other.name == "t"
+
+    def test_semantics_after_pushing(self):
+        src = """
+        module m(input wire [3:0] a, input wire [3:0] b, output wire [2:0] o);
+            assign o[0] = !(a == b);
+            assign o[1] = ~(~(&a));
+            assign o[2] = (!(a < b)) ? 1'b1 : 1'b0;
+        endmodule
+        """
+        raw = build_graph(lowered(src, "m"))
+        opt = build_graph(optimize_design(lowered(src, "m")))
+        stim = random_batch(raw.design, 16, 8, seed=4)
+        x = reference_traces(raw, stim, ["o"])
+        y = reference_traces(opt, stim, ["o"])
+        assert np.array_equal(x["o"], y["o"])

@@ -1,0 +1,106 @@
+"""Performance smoke tests (very generous margins — regressions only).
+
+These catch order-of-magnitude regressions (e.g. accidentally falling back
+to per-lane Python loops in the batch path) without being flaky on a busy
+host.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.reference import ReferenceSimulator
+from repro.core.codegen import transpile
+from repro.core.simulator import BatchSimulator
+from repro.designs import get_design
+from repro.stimulus.generator import random_batch
+
+from tests.conftest import compile_graph
+
+
+def _best(fn, trials=3):
+    times = []
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+@pytest.fixture(scope="module")
+def nvdla():
+    bundle = get_design("nvdla", pes=4)
+    graph = compile_graph(bundle.source, bundle.top)
+    return bundle, graph, transpile(graph)
+
+
+class TestBatchAmortization:
+    def test_batch_axis_is_cheap(self, nvdla):
+        """256x the stimulus must cost far less than 256x the time."""
+        bundle, graph, model = nvdla
+        cycles = 30
+
+        def run(n):
+            sim = BatchSimulator(model, n)
+            bundle.preload(sim)
+            stim = bundle.make_stimulus(n, cycles, 1)
+            return _best(lambda: sim.run(stim))
+
+        t1 = run(4)
+        t256 = run(4 * 256)
+        assert t256 < t1 * 64, (t1, t256)  # >=4x per-lane amortization
+
+    def test_batch_beats_reference_per_lane(self, nvdla):
+        """The vectorized engine must be >=10x cheaper per lane-cycle than
+        the tree-walking golden model at a moderate batch size."""
+        bundle, graph, model = nvdla
+        cycles = 20
+        n = 256
+        stim = bundle.make_stimulus(n, cycles, 2)
+
+        sim = BatchSimulator(model, n)
+        bundle.preload(sim)
+        t_batch = _best(lambda: sim.run(stim))
+        per_lane_batch = t_batch / (n * cycles)
+
+        ref = ReferenceSimulator(graph)
+        steps = stim.lane(0)
+
+        def run_ref():
+            for s in steps:
+                ref.cycle(s)
+
+        t_ref = _best(run_ref, trials=2)
+        per_lane_ref = t_ref / cycles
+        assert per_lane_batch * 10 < per_lane_ref, (
+            per_lane_batch, per_lane_ref,
+        )
+
+
+class TestCompiledScalarSpeed:
+    def test_compiled_beats_interpreter(self, nvdla):
+        """The Verilator-like compiled engine must beat the interpreter."""
+        from repro.baselines.scalargen import generate_scalar_model
+        from repro.baselines.verilator import VerilatorSim
+
+        bundle, graph, _ = nvdla
+        cycles = 30
+        stim = bundle.make_stimulus(1, cycles, 3)
+        steps = stim.lane(0)
+        spec = generate_scalar_model(graph)
+
+        ns = {}
+        exec(compile(spec.source, "<perf>", "exec"), ns)
+
+        def run_compiled():
+            sim = VerilatorSim(spec, dict(ns))
+            for s in steps:
+                sim.cycle(s)
+
+        def run_interp():
+            sim = ReferenceSimulator(graph)
+            for s in steps:
+                sim.cycle(s)
+
+        assert _best(run_compiled) < _best(run_interp), "codegen slower than AST walk"

@@ -1,0 +1,235 @@
+"""Tests for stimulus format, batch containers and generators."""
+
+import numpy as np
+import pytest
+
+from repro.stimulus.batch import StimulusBatch, TextStimulusBatch
+from repro.stimulus.format import (
+    decode_stimulus_text,
+    encode_stimulus_text,
+    read_stimulus_file,
+    write_stimulus_file,
+)
+from repro.stimulus.generator import directed_batch, drivable_inputs, random_batch
+from repro.utils.errors import SimulationError
+
+from tests.conftest import COUNTER_V, compile_graph
+
+
+class TestFormat:
+    def test_roundtrip(self):
+        names = ["rst", "en", "d"]
+        rows = [[1, 0, 0xAB], [0, 1, 0x7F]]
+        text = encode_stimulus_text(names, rows)
+        got_names, got = decode_stimulus_text(text)
+        assert got_names == names
+        assert got.tolist() == rows
+
+    def test_file_roundtrip(self, tmp_path):
+        p = str(tmp_path / "s.stim")
+        write_stimulus_file(p, ["a"], [[1], [2], [3]])
+        names, vals = read_stimulus_file(p)
+        assert names == ["a"]
+        assert vals[:, 0].tolist() == [1, 2, 3]
+
+    def test_bad_magic(self):
+        with pytest.raises(SimulationError):
+            decode_stimulus_text("nope\n")
+
+    def test_wrong_column_count(self):
+        text = "# repro-stimulus v1\n# inputs: a b\n1\n"
+        with pytest.raises(SimulationError):
+            decode_stimulus_text(text)
+
+    def test_bad_hex(self):
+        text = "# repro-stimulus v1\n# inputs: a\nzz_not_hex!\n"
+        with pytest.raises(SimulationError):
+            decode_stimulus_text(text)
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# repro-stimulus v1\n# inputs: a\n\n# note\n5\n"
+        _, vals = decode_stimulus_text(text)
+        assert vals[:, 0].tolist() == [5]
+
+    def test_row_width_mismatch_on_encode(self):
+        with pytest.raises(SimulationError):
+            encode_stimulus_text(["a", "b"], [[1]])
+
+
+class TestStimulusBatch:
+    def _batch(self):
+        return StimulusBatch(
+            {
+                "a": np.arange(12, dtype=np.uint64).reshape(3, 4),
+                "b": np.ones((3, 4), dtype=np.uint64),
+            }
+        )
+
+    def test_shapes(self):
+        s = self._batch()
+        assert s.cycles == 3
+        assert s.n == 4
+        assert len(s) == 3
+
+    def test_inputs_at(self):
+        s = self._batch()
+        step = s.inputs_at(1)
+        assert step["a"].tolist() == [4, 5, 6, 7]
+
+    def test_inputs_at_range(self):
+        s = self._batch()
+        step = s.inputs_at_range(0, 1, 3)
+        assert step["a"].tolist() == [1, 2]
+
+    def test_lane_extraction(self):
+        s = self._batch()
+        lane = s.lane(2)
+        assert lane[0] == {"a": 2, "b": 1}
+        assert lane[2] == {"a": 10, "b": 1}
+
+    def test_lanes_slice(self):
+        s = self._batch()
+        sub = s.lanes(0, 2)
+        assert sub.n == 2
+        assert sub.cycles == 3
+
+    def test_text_roundtrip(self):
+        s = self._batch()
+        texts = s.to_texts()
+        assert len(texts) == 4
+        back = StimulusBatch.from_texts(texts)
+        for k in s.data:
+            assert np.array_equal(back.data[k], s.data[k])
+
+    def test_from_lane_dicts(self):
+        lanes = [[{"x": 1}, {"x": 2}], [{"x": 3}, {"x": 4}]]
+        s = StimulusBatch.from_lane_dicts(lanes)
+        assert s.n == 2 and s.cycles == 2
+        assert s.data["x"][1, 1] == 4
+
+    def test_inconsistent_shapes_rejected(self):
+        with pytest.raises(SimulationError):
+            StimulusBatch(
+                {
+                    "a": np.zeros((2, 3), dtype=np.uint64),
+                    "b": np.zeros((2, 4), dtype=np.uint64),
+                }
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            StimulusBatch({})
+
+
+class TestTextStimulusBatch:
+    def test_lazy_decode_matches_eager(self):
+        s = StimulusBatch(
+            {
+                "a": np.arange(8, dtype=np.uint64).reshape(2, 4),
+                "b": np.full((2, 4), 0xFF, dtype=np.uint64),
+            }
+        )
+        t = TextStimulusBatch(s.to_texts())
+        assert t.n == 4 and t.cycles == 2
+        step = t.inputs_at_range(1, 1, 3)
+        assert step["a"].tolist() == [5, 6]
+        full = t.decode_all()
+        for k in s.data:
+            assert np.array_equal(full.data[k], s.data[k])
+
+    def test_disagreeing_files_rejected(self):
+        s1 = StimulusBatch({"a": np.zeros((2, 1), dtype=np.uint64)})
+        s2 = StimulusBatch({"b": np.zeros((2, 1), dtype=np.uint64)})
+        with pytest.raises(SimulationError):
+            TextStimulusBatch(s1.to_texts() + s2.to_texts())
+
+
+class TestGenerators:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return compile_graph(COUNTER_V, "counter").design
+
+    def test_drivable_excludes_clock(self, design):
+        names = drivable_inputs(design)
+        assert "clk" not in names
+        assert set(names) == {"rst", "en"}
+
+    def test_random_batch_deterministic(self, design):
+        a = random_batch(design, 4, 10, seed=3)
+        b = random_batch(design, 4, 10, seed=3)
+        for k in a.data:
+            assert np.array_equal(a.data[k], b.data[k])
+
+    def test_random_batch_respects_widths(self, design):
+        s = random_batch(design, 8, 20, seed=1)
+        assert s.data["en"].max() <= 1
+
+    def test_reset_held_then_released(self, design):
+        s = random_batch(design, 4, 10, seed=0, reset_cycles=2)
+        assert np.all(s.data["rst"][:2] == 1)
+        assert np.all(s.data["rst"][2:] == 0)
+
+    def test_directed_concatenation(self, design):
+        patterns = [
+            {"en": [1, 1, 1, 1]},
+            {"en": [0, 0]},
+        ]
+        s = directed_batch(design, patterns, n=6, cycles=20, seed=5)
+        assert s.cycles == 20
+        assert s.n == 6
+        vals = set(np.unique(s.data["en"]))
+        assert vals <= {0, 1}
+
+    def test_override(self, design):
+        en = np.zeros((10, 4), dtype=np.uint64)
+        s = random_batch(design, 4, 10, seed=0, overrides={"en": en})
+        assert np.all(s.data["en"] == 0)
+
+    def test_bad_override_shape(self, design):
+        with pytest.raises(SimulationError):
+            random_batch(design, 4, 10, overrides={"en": np.zeros((2, 2))})
+
+
+class TestMemImage:
+    def test_parse_basic(self):
+        from repro.stimulus.memimage import parse_hex_image
+
+        img = parse_hex_image("00000093 00100113\ndeadbeef")
+        assert img == {0: 0x93, 1: 0x00100113, 2: 0xDEADBEEF}
+
+    def test_address_jump_and_comments(self):
+        from repro.stimulus.memimage import parse_hex_image
+
+        img = parse_hex_image("// boot\n@0\n11 /* two */ 22\n@10\n33")
+        assert img == {0: 0x11, 1: 0x22, 0x10: 0x33}
+
+    def test_xz_read_as_zero(self):
+        from repro.stimulus.memimage import parse_hex_image
+
+        assert parse_hex_image("xZ1")[0] == 0x001
+
+    def test_bad_word(self):
+        from repro.stimulus.memimage import parse_hex_image
+
+        with pytest.raises(SimulationError):
+            parse_hex_image("nothex!")
+
+    def test_bad_address(self):
+        from repro.stimulus.memimage import parse_hex_image
+
+        with pytest.raises(SimulationError):
+            parse_hex_image("@zz 1")
+
+    def test_dense_list_with_depth(self):
+        from repro.stimulus.memimage import image_to_list
+
+        dense = image_to_list({0: 5, 3: 7}, depth=6)
+        assert dense == [5, 0, 0, 7, 0, 0]
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.stimulus.memimage import read_hex_image, write_hex_image
+
+        words = [i * 37 % 4096 for i in range(20)]
+        p = str(tmp_path / "img.hex")
+        write_hex_image(p, words)
+        assert read_hex_image(p) == words

@@ -1,0 +1,210 @@
+"""Unit tests for utils (timing, errors) and analysis (metrics, report)."""
+
+import time
+
+import pytest
+
+from repro.analysis.metrics import code_metrics
+from repro.analysis.report import format_table
+from repro.core.annotate import annotate_tasks, render_header
+from repro.core.indexmap import IndexMapper
+from repro.core.memory import MemoryLayout
+from repro.partition.merge import partition
+from repro.utils.errors import (
+    ElaborationError,
+    ReproError,
+    SimulationError,
+    UnsupportedFeatureError,
+    VerilogSyntaxError,
+    WidthError,
+)
+from repro.utils.timing import Stopwatch, format_duration
+
+from tests.conftest import ALU_V, COUNTER_V, compile_graph
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expect",
+        [
+            (0.0005, "0.5ms"),
+            (0.25, "250.0ms"),
+            (1.0, "1s"),
+            (16, "16s"),
+            (165, "2m45s"),
+            (3600 + 22 * 60 + 47, "1h22m47s"),
+            (2 * 3600, "2h0m0s"),
+        ],
+    )
+    def test_paper_style_rendering(self, seconds, expect):
+        assert format_duration(seconds) == expect
+
+    def test_negative(self):
+        assert format_duration(-2) == "-2s"
+
+
+class TestStopwatch:
+    def test_span_accumulates(self):
+        sw = Stopwatch()
+        with sw.span("a"):
+            time.sleep(0.001)
+        with sw.span("a"):
+            pass
+        assert sw.total("a") > 0
+        assert sw.counts["a"] == 2
+
+    def test_add_and_reset(self):
+        sw = Stopwatch()
+        sw.add("x", 1.5)
+        assert sw.total("x") == 1.5
+        sw.reset()
+        assert sw.total("x") == 0.0
+
+    def test_span_records_on_exception(self):
+        sw = Stopwatch()
+        with pytest.raises(ValueError):
+            with sw.span("boom"):
+                raise ValueError()
+        assert sw.counts["boom"] == 1
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (VerilogSyntaxError("x"), ElaborationError(),
+                    WidthError(), UnsupportedFeatureError(), SimulationError()):
+            assert isinstance(exc, ReproError)
+
+    def test_syntax_error_location(self):
+        e = VerilogSyntaxError("bad token", "f.v", 3, 7)
+        assert "f.v:3:7" in str(e)
+        assert e.line == 3
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        t = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = t.splitlines()
+        assert len({len(l) for l in lines}) == 1  # all rows equal width
+
+    def test_title_underlined(self):
+        t = format_table(["x"], [[1]], title="T")
+        assert t.splitlines()[1] == "="
+
+    def test_empty_rows(self):
+        t = format_table(["only", "headers"], [])
+        assert "only" in t
+
+
+class TestCodeMetrics:
+    def test_loc_excludes_comments_and_blanks(self):
+        src = "# c\n\nx = 1\n# another\ny = 2\n"
+        assert code_metrics(src).loc == 2
+
+    def test_token_count_positive(self):
+        assert code_metrics("x = 1 + 2\n").tokens >= 5
+
+    def test_cc_counts_boolops(self):
+        src = "def f(a, b, c):\n    return a and b or c\n"
+        m = code_metrics(src)
+        assert m.cc_avg == 3.0  # 1 + (and) + (or)
+
+    def test_no_functions(self):
+        assert code_metrics("x = 1\n").cc_avg == 0.0
+
+
+class TestAnnotate:
+    def test_qualifiers(self):
+        tg = partition(compile_graph(ALU_V, "alu"), target_weight=3.0)
+        annotations = annotate_tasks(tg)
+        assert len(annotations) == len(tg.graph.nodes)
+        for task in tg.tasks:
+            assert annotations[task.nodes[0]].qualifier == "__global__"
+            for nid in task.nodes[1:]:
+                assert annotations[nid].qualifier == "__device__"
+
+    def test_arrsel_depth_recursive(self):
+        src = """
+        module m(input wire [3:0] i, output wire [7:0] o);
+            reg [7:0] t [0:15];
+            reg [3:0] p [0:15];
+            wire clk;
+            assign o = t[p[i]];
+        endmodule
+        """
+        # t[p[i]] is Fig. 5's recursive ARRSEL: depth 2.
+        g = compile_graph(src, "m")
+        tg = partition(g)
+        ann = annotate_tasks(tg)
+        assert max(a.arrsel_depth for a in ann.values()) >= 2
+
+    def test_render_header_lines(self):
+        tg = partition(compile_graph(COUNTER_V, "counter"))
+        lines = render_header(tg)
+        assert any("comb tasks" in l for l in lines)
+
+
+class TestIndexMapper:
+    @pytest.fixture
+    def mapper(self):
+        g = compile_graph(COUNTER_V, "counter")
+        return IndexMapper(MemoryLayout.from_graph(g)), g
+
+    def test_load_is_contiguous_slice(self, mapper):
+        m, g = mapper
+        code = m.load("q")
+        assert "*N:" in code and "astype" in code
+
+    def test_shadow_requires_register(self, mapper):
+        m, g = mapper
+        assert m.store_target("q", shadow=True) != m.store_target("q")
+        with pytest.raises(SimulationError):
+            m.store_target("count", shadow=True)  # wires have no shadow
+
+    def test_comment_mentions_offset(self, mapper):
+        m, g = mapper
+        assert "offset of q is" in m.comment_for("q")
+
+
+class TestPlots:
+    def test_lineplot_markers_and_legend(self):
+        from repro.analysis.plots import ascii_lineplot
+
+        art = ascii_lineplot(
+            {"a": [(1, 1), (10, 10)], "b": [(1, 10), (10, 1)]},
+            width=30, height=8,
+        )
+        assert "o = a" in art
+        assert "x = b" in art
+        assert "|" in art
+
+    def test_lineplot_log_axes(self):
+        from repro.analysis.plots import ascii_lineplot
+
+        art = ascii_lineplot(
+            {"s": [(1, 0.001), (1000, 1.0)]}, logx=True, logy=True,
+            width=20, height=6,
+        )
+        assert "(no data)" not in art
+
+    def test_lineplot_empty(self):
+        from repro.analysis.plots import ascii_lineplot
+
+        assert ascii_lineplot({"a": []}) == "(no data)"
+
+    def test_stacked_bars_totals(self):
+        from repro.analysis.plots import ascii_stacked_bars
+
+        art = ascii_stacked_bars(
+            ["x", "y"], {"p": [1.0, 2.0], "q": [0.5, 0.0]}, width=20
+        )
+        lines = art.splitlines()
+        assert lines[0].endswith("1.5s")
+        assert lines[1].endswith("2s")
+        assert "# = p" in lines[-1]
+
+    def test_stacked_bars_widths_proportional(self):
+        from repro.analysis.plots import ascii_stacked_bars
+
+        art = ascii_stacked_bars(["a", "b"], {"p": [1.0, 2.0]}, width=10)
+        a_row, b_row = art.splitlines()[:2]
+        assert b_row.count("#") == 2 * a_row.count("#")

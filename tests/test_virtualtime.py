@@ -1,0 +1,104 @@
+"""Unit tests for the virtual-time schedule models (hand-computed cases)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline.virtualtime import (
+    _parallel_makespan,
+    makespan_pipelined,
+    makespan_sequential,
+)
+
+
+class TestParallelMakespan:
+    def test_single_worker_sums(self):
+        assert _parallel_makespan([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_enough_workers_is_max(self):
+        assert _parallel_makespan([1.0, 2.0, 3.0], 3) == 3.0
+
+    def test_two_workers_lpt_order(self):
+        # Greedy in given order: w1={1,3}, w2={2} -> makespan 4.
+        assert _parallel_makespan([1.0, 2.0, 3.0], 2) == 4.0
+
+    def test_empty(self):
+        assert _parallel_makespan([], 4) == 0.0
+
+
+class TestSequentialSchedule:
+    def test_hand_computed(self):
+        # 2 groups x 2 cycles; cpu=1 each, gpu=2 each; 2 CPU workers.
+        cpu = np.ones((2, 2))
+        gpu = np.full((2, 2), 2.0)
+        r = makespan_sequential(cpu, gpu, cpu_workers=2)
+        # Per cycle: max(cpu)=1, then 2+2 serial on GPU -> 5; two cycles -> 10.
+        assert r.makespan == pytest.approx(10.0)
+        assert r.gpu_busy == pytest.approx(8.0)
+        assert r.gpu_utilization == pytest.approx(0.8)
+
+    def test_one_cpu_worker_serializes_inputs(self):
+        cpu = np.ones((3, 1))
+        gpu = np.zeros((3, 1))
+        r = makespan_sequential(cpu, gpu, cpu_workers=1)
+        assert r.makespan == pytest.approx(3.0)
+
+    def test_spans_cover_all_tasks(self):
+        cpu = np.ones((2, 3))
+        gpu = np.ones((2, 3))
+        r = makespan_sequential(cpu, gpu, 2)
+        assert len(r.spans) == 12  # 6 cpu + 6 gpu
+
+
+class TestPipelinedSchedule:
+    def test_perfect_overlap_two_groups(self):
+        # cpu == gpu == 1, 2 groups, plenty of CPU workers: after the
+        # 1-unit fill, the GPU never idles -> makespan ~ 1 + total_gpu.
+        cycles = 10
+        cpu = np.ones((2, cycles))
+        gpu = np.ones((2, cycles))
+        r = makespan_pipelined(cpu, gpu, cpu_workers=2)
+        assert r.makespan == pytest.approx(1.0 + 2 * cycles, abs=1e-9)
+        assert r.gpu_utilization > 0.9
+
+    def test_single_group_cannot_overlap(self):
+        # One group: si -> ev -> si -> ev strictly alternates; pipeline
+        # equals the sequential schedule.
+        cpu = np.ones((1, 5))
+        gpu = np.ones((1, 5))
+        p = makespan_pipelined(cpu, gpu, 2)
+        s = makespan_sequential(cpu, gpu, 2)
+        assert p.makespan == pytest.approx(s.makespan)
+
+    def test_pipeline_never_slower(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            g = int(rng.integers(1, 6))
+            c = int(rng.integers(1, 8))
+            cpu = rng.random((g, c))
+            gpu = rng.random((g, c))
+            w = int(rng.integers(1, 5))
+            p = makespan_pipelined(cpu, gpu, w)
+            s = makespan_sequential(cpu, gpu, w)
+            assert p.makespan <= s.makespan + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(1, 5), st.integers(1, 6), st.integers(1, 4),
+        st.integers(0, 2**31),
+    )
+    def test_invariants(self, groups, cycles, workers, seed):
+        rng = np.random.default_rng(seed)
+        cpu = rng.random((groups, cycles)) * 1e-3
+        gpu = rng.random((groups, cycles)) * 1e-3
+        r = makespan_pipelined(cpu, gpu, workers)
+        # Lower bounds: total GPU work, and any single group's chain.
+        assert r.makespan >= gpu.sum() - 1e-12
+        chains = cpu.sum(axis=1) + gpu.sum(axis=1)
+        assert r.makespan >= chains.max() - 1e-12
+        # Upper bound: fully serial execution.
+        assert r.makespan <= cpu.sum() + gpu.sum() + 1e-12
+        assert 0.0 <= r.gpu_utilization <= 1.0
+        # Span accounting matches the reported busy time.
+        gpu_span_total = sum(e - s for res, _, s, e in r.spans if res == "GPU")
+        assert gpu_span_total == pytest.approx(r.gpu_busy)

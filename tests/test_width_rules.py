@@ -1,0 +1,121 @@
+"""Direct unit tests of the Verilog-2001 expression-sizing rules.
+
+These pin the width/ctx_width annotations (the paper's §3.1 transpiler
+correctness hinges on them) independently of the simulation engines.
+"""
+
+import pytest
+
+from repro.elaborate.elaborator import elaborate
+from repro.elaborate.symexec import lower
+from repro.utils.errors import WidthError
+from repro.verilog import ast_nodes as A
+from repro.verilog.parser import parse_source
+from repro.verilog.width import annotate_design
+
+
+def annotated_expr(expr_src, decls="", target="y", twidth=8):
+    src = (
+        "module m(input wire [7:0] a, input wire [7:0] b, "
+        "input wire [15:0] c, input wire e,\n"
+        f"         output wire [{twidth - 1}:0] {target});\n"
+        f"{decls}\n"
+        f"assign {target} = {expr_src};\nendmodule"
+    )
+    design = lower(elaborate(parse_source(src), "m"))
+    annotate_design(design)
+    for ca in design.comb:
+        if ca.target == target:
+            return ca.expr
+    raise AssertionError("target assign not found")
+
+
+class TestSelfWidths:
+    def test_ident(self):
+        e = annotated_expr("a")
+        assert e.width == 8
+
+    def test_add_max_rule(self):
+        e = annotated_expr("a + c")
+        assert e.width == 16
+
+    def test_comparison_is_one_bit(self):
+        e = annotated_expr("a < b", twidth=1)
+        assert e.width == 1
+
+    def test_shift_takes_left_width(self):
+        e = annotated_expr("a << c")
+        assert e.width == 8
+
+    def test_concat_sums(self):
+        e = annotated_expr("{a, b, e}", twidth=17)
+        assert e.width == 17
+
+    def test_replication_multiplies(self):
+        e = annotated_expr("{3{a}}", twidth=24)
+        assert e.width == 24
+
+    def test_part_select(self):
+        e = annotated_expr("c[11:4]")
+        assert e.width == 8
+
+    def test_bit_select_is_one(self):
+        e = annotated_expr("c[3]", twidth=1)
+        assert e.width == 1
+
+    def test_reduction_is_one(self):
+        e = annotated_expr("^c", twidth=1)
+        assert e.width == 1
+
+    def test_ternary_max_of_arms(self):
+        e = annotated_expr("e ? a : c")
+        assert e.width == 16
+
+    def test_unsized_literal_is_32(self):
+        e = annotated_expr("a + 1")
+        assert e.width == 32
+
+
+class TestContextWidths:
+    def test_assignment_context_widens_operands(self):
+        # 8-bit operands assigned to a 16-bit target: the add wraps at 16.
+        e = annotated_expr("a + b", twidth=16)
+        assert e.ctx_width == 16
+        assert e.left.ctx_width == 16
+
+    def test_comparison_operands_self_island(self):
+        e = annotated_expr("(a + b) < c", twidth=1)
+        add = e.left
+        # Operand context is max of the two sides (16), NOT the 1-bit node.
+        assert add.ctx_width == 16
+
+    def test_shift_amount_self_determined(self):
+        e = annotated_expr("c << (a + b)", twidth=16)
+        assert e.right.ctx_width == 8  # amount keeps its own width
+
+    def test_concat_parts_self_determined(self):
+        e = annotated_expr("{a + b, b}", twidth=16)
+        assert e.parts[0].ctx_width == 8  # wraps at 8 inside the concat
+
+    def test_reduction_operand_self_determined(self):
+        e = annotated_expr("&(a + b)", twidth=1)
+        assert e.operand.ctx_width == 8
+
+
+class TestWidthErrors:
+    def test_out_of_range_part_select(self):
+        with pytest.raises(WidthError):
+            annotated_expr("a[9:2]")
+
+    def test_reversed_part_select(self):
+        with pytest.raises(WidthError):
+            annotated_expr("a[2:5]")
+
+    def test_concat_over_limit(self):
+        decl = "wire [511:0] big;\nassign big = {64{a}};"
+        with pytest.raises(WidthError):
+            annotated_expr("{big, a}", decls=decl, twidth=8)
+
+    def test_zero_replication(self):
+        with pytest.raises(WidthError):
+            annotated_expr("{0{a}}")
