@@ -36,10 +36,12 @@ from benchmarks.common import (
     time_rtlflow_pipeline,
     time_rtlflow_projected,
 )
+from repro import obs
 from repro.analysis.metrics import transpilation_row
 from repro.analysis.report import format_table
 from repro.gpu.device import SimulatedDevice
-from repro.gpu.timeline import Tracer, TimelineSpan, render_timeline
+from repro.gpu.timeline import TimelineSpan, render_timeline
+from repro.obs import Tracer
 from repro.partition.mcmc import Estimator
 from repro.partition.merge import partition
 from repro.utils.timing import format_duration
@@ -590,15 +592,40 @@ def main(argv=None) -> int:
                     action="append", default=None)
     ap.add_argument("--all", action="store_true")
     ap.add_argument("--scale", choices=sorted(SCALES), default="default")
+    ap.add_argument("--trace-json", default=None, metavar="PATH",
+                    help="capture a Chrome-trace JSON across the "
+                         "selected experiments")
+    ap.add_argument("--metrics-json", default=None, metavar="PATH",
+                    help="capture a metrics snapshot JSON across the "
+                         "selected experiments")
     args = ap.parse_args(argv)
     names = sorted(EXPERIMENTS) if args.all else (args.experiment or [])
     if not names:
         ap.error("pass --experiment NAME (repeatable) or --all")
-    for name in names:
-        t0 = time.perf_counter()
-        print(f"\n>>> {name} (scale={args.scale})")
-        print(EXPERIMENTS[name](args.scale))
-        print(f"[{name} took {time.perf_counter() - t0:.1f}s]")
+
+    def run_all() -> None:
+        tracer = obs.get_tracer()
+        for name in names:
+            t0 = time.perf_counter()
+            print(f"\n>>> {name} (scale={args.scale})")
+            with tracer.span(name, resource="harness"):
+                print(EXPERIMENTS[name](args.scale))
+            print(f"[{name} took {time.perf_counter() - t0:.1f}s]")
+
+    if args.trace_json or args.metrics_json:
+        with obs.capture() as (tracer, metrics):
+            run_all()
+        if args.trace_json:
+            tracer.write_chrome_trace(args.trace_json)
+            print(f"wrote {args.trace_json}")
+        if args.metrics_json:
+            metrics.write_json(
+                args.metrics_json,
+                extra={"kernels": obs.kernel_time_summary(tracer)},
+            )
+            print(f"wrote {args.metrics_json}")
+    else:
+        run_all()
     return 0
 
 

@@ -8,7 +8,13 @@ transpile  Emit the generated batch-kernel module (and optionally the
 simulate   Run a batch simulation from stimulus files (or random stimulus)
            and print final outputs / write a VCD for one lane.
 coverage   Run random stimulus and report toggle coverage.
+profile    Run a bundled design under full telemetry and export a
+           Chrome-trace JSON (loads in ui.perfetto.dev) plus a metrics
+           JSON (per-task kernel times, pool bytes, MCMC statistics).
 designs    List the bundled benchmark designs.
+
+``simulate`` and ``coverage`` also accept ``--trace-json PATH`` /
+``--metrics-json PATH`` to capture telemetry of a normal run.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro import RTLFlow
+from repro import RTLFlow, obs
 from repro.analysis.metrics import code_metrics
 from repro.analysis.report import format_table
 from repro.coverage.collector import CoverageCollector
@@ -142,6 +148,71 @@ def cmd_coverage(args) -> int:
     return 0 if report.percent >= args.threshold else 1
 
 
+def cmd_profile(args) -> int:
+    """Profile one bundled design end to end under full telemetry."""
+    from repro.core.simulator import BatchSimulator
+    from repro.gpu.device import SimulatedDevice
+
+    from repro.designs import get_design
+
+    bundle = get_design(args.design)
+    with obs.capture() as (tracer, metrics):
+        with tracer.span("parse+elaborate", resource="flow"):
+            flow = RTLFlow.from_source(bundle.source, bundle.top)
+        if args.mcmc_iters > 0:
+            with tracer.span("optimize_partition", resource="flow"):
+                flow.optimize_partition(
+                    n_stimulus=min(32, args.batch),
+                    cycles=8,
+                    max_iter=args.mcmc_iters,
+                    max_unimproved=max(4, args.mcmc_iters // 3),
+                )
+        with tracer.span("transpile+compile", resource="flow"):
+            model = flow.compile(use_mcmc=args.mcmc_iters > 0)
+        device = SimulatedDevice(tracer=tracer)
+        sim = BatchSimulator(model, args.batch, executor=args.executor,
+                             device=device, tracer=tracer, metrics=metrics)
+        bundle.preload(sim)
+        stim = bundle.make_stimulus(args.batch, args.cycles, args.seed)
+        sim.run(stim)
+        device.publish_metrics(metrics)
+
+    trace_path = args.trace_json or f"{args.design}.trace.json"
+    metrics_path = args.metrics_json or f"{args.design}.metrics.json"
+    tracer.write_chrome_trace(trace_path)
+    metrics.write_json(
+        metrics_path, extra={"kernels": obs.kernel_time_summary(tracer)}
+    )
+
+    agg = sorted(tracer.aggregate().items(),
+                 key=lambda kv: kv[1].total, reverse=True)
+    rows = [
+        [name, s.count, f"{s.total * 1000:.2f}ms",
+         f"{s.total / s.count * 1000:.3f}ms"]
+        for name, s in agg[: args.top]
+    ]
+    print(format_table(
+        ["span", "count", "total", "mean"], rows,
+        title=f"profile: {args.design} ({args.batch} stimulus x "
+              f"{args.cycles} cycles, executor={args.executor})",
+    ))
+    mcmc = flow.mcmc_result
+    if mcmc is not None:
+        print(f"MCMC: {mcmc.iterations} iterations, {mcmc.evaluations} "
+              f"evaluations, acceptance "
+              f"{mcmc.accepted / max(1, mcmc.iterations):.0%}, "
+              f"improvement {mcmc.improvement:+.1%}")
+    print(f"device: {device.stats.kernel_launches} kernel launches, "
+          f"{device.stats.graph_launches} graph launches, "
+          f"busy {device.stats.busy_seconds * 1000:.1f}ms")
+    if args.timeline:
+        print()
+        print(tracer.render_ascii(width=88))
+    print(f"wrote {trace_path} (Chrome trace; open in ui.perfetto.dev)")
+    print(f"wrote {metrics_path}")
+    return 0
+
+
 def cmd_designs(args) -> int:
     from repro.designs import get_design, list_designs
 
@@ -161,6 +232,13 @@ def build_parser() -> argparse.ArgumentParser:
     def add_design_args(p):
         p.add_argument("sources", nargs="+", help="Verilog source files")
         p.add_argument("--top", required=True, help="top module name")
+
+    def add_telemetry_args(p):
+        p.add_argument("--trace-json", default=None, metavar="PATH",
+                       help="write a Chrome-trace/Perfetto JSON of the run")
+        p.add_argument("--metrics-json", default=None, metavar="PATH",
+                       help="write a metrics snapshot JSON of the run")
+        p.set_defaults(_auto_telemetry=True)
 
     def add_stim_args(p):
         p.add_argument("--batch", "-n", type=int, default=256,
@@ -193,26 +271,71 @@ def build_parser() -> argparse.ArgumentParser:
                    default="graph")
     p.add_argument("--vcd", default=None, help="dump one lane's VCD here")
     p.add_argument("--vcd-lane", type=int, default=0)
+    add_telemetry_args(p)
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("coverage", help="toggle-coverage a random campaign")
     add_design_args(p)
     add_stim_args(p)
+    add_telemetry_args(p)
     p.add_argument("--ports-only", action="store_true")
     p.add_argument("--all-uncovered", action="store_true")
     p.add_argument("--threshold", type=float, default=0.0,
                    help="exit nonzero below this coverage percent")
     p.set_defaults(fn=cmd_coverage)
 
+    p = sub.add_parser(
+        "profile",
+        help="profile a bundled design; emit Chrome-trace + metrics JSON",
+    )
+    p.add_argument("design", help="bundled design name (see `repro designs`)")
+    p.add_argument("--batch", "-n", type=int, default=64)
+    p.add_argument("--cycles", "-c", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--executor", choices=["graph", "graph-fused", "stream"],
+                   default="graph")
+    p.add_argument("--mcmc-iters", type=int, default=8,
+                   help="MCMC partition-tuning iterations (0 disables)")
+    p.add_argument("--top", type=int, default=12,
+                   help="rows in the printed span table")
+    p.add_argument("--timeline", action="store_true",
+                   help="also print the ASCII swimlane timeline")
+    p.add_argument("--trace-json", default=None, metavar="PATH",
+                   help="trace output path (default <design>.trace.json)")
+    p.add_argument("--metrics-json", default=None, metavar="PATH",
+                   help="metrics output path (default <design>.metrics.json)")
+    p.set_defaults(fn=cmd_profile)
+
     p = sub.add_parser("designs", help="list bundled designs")
     p.set_defaults(fn=cmd_designs)
     return ap
 
 
+def _run_command(args) -> int:
+    """Dispatch one parsed command, honouring the telemetry flags of
+    commands that opted in via ``add_telemetry_args``."""
+    if not getattr(args, "_auto_telemetry", False) or not (
+        args.trace_json or args.metrics_json
+    ):
+        return args.fn(args)
+    with obs.capture() as (tracer, metrics):
+        rc = args.fn(args)
+    if args.trace_json:
+        tracer.write_chrome_trace(args.trace_json)
+        print(f"wrote {args.trace_json} (Chrome trace; open in ui.perfetto.dev)")
+    if args.metrics_json:
+        metrics.write_json(
+            args.metrics_json,
+            extra={"kernels": obs.kernel_time_summary(tracer)},
+        )
+        print(f"wrote {args.metrics_json}")
+    return rc
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return args.fn(args)
+        return _run_command(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

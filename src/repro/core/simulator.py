@@ -8,7 +8,10 @@ stimulus axis is the vectorized numpy axis.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+import hashlib
+from typing import (
+    Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union,
+)
 
 import numpy as np
 
@@ -18,6 +21,9 @@ from repro.core.memory import DeviceArrays
 from repro.gpu.device import SimulatedDevice
 from repro.gpu.graphexec import CudaGraphExecutor
 from repro.gpu.stream import StreamExecutor
+from repro.obs import get_metrics, get_tracer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.utils import bitvec as bv
 from repro.utils.errors import SimulationError
 from repro.utils.timing import Stopwatch
@@ -41,8 +47,22 @@ def make_executor(
     raise SimulationError(f"unknown executor kind {kind!r}")
 
 
+_POOL_BITS = (8, 16, 32, 64)
+
+
 class BatchSimulator:
-    """Simulates N stimulus of one design simultaneously."""
+    """Simulates N stimulus of one design simultaneously.
+
+    Clocks are **batch-uniform**: every lane shares one clock level,
+    driven through :meth:`set_clock` (writing a per-lane clock vector
+    raises at the next evaluation — edge detection is global, so
+    divergent lane clocks would be silently ignored otherwise).
+
+    Telemetry: spans and counters go to the session tracer/registry from
+    :mod:`repro.obs` (bound at construction; no-ops unless enabled), and
+    a per-instance :class:`Stopwatch` always aggregates the Fig. 2
+    ``set_inputs``/``evaluate`` split.
+    """
 
     def __init__(
         self,
@@ -51,10 +71,14 @@ class BatchSimulator:
         executor: Union[str, object] = "graph",
         device: Optional[SimulatedDevice] = None,
         clock: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.model = model
         self.n = n
-        self.device = device or SimulatedDevice()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.device = device or SimulatedDevice(tracer=self.tracer)
         self.executor = (
             make_executor(model, self.device, executor)
             if isinstance(executor, str)
@@ -69,6 +93,17 @@ class BatchSimulator:
         self._prev_clock: Dict[str, int] = {c: 0 for c in clocks}
         self.stopwatch = Stopwatch()
         self.cycles_run = 0
+        if self.metrics.enabled:
+            self.metrics.set_gauge("sim.batch_n", n)
+            for bits, size, itemsize in zip(
+                _POOL_BITS, model.layout.pool_sizes, (1, 2, 4, 8)
+            ):
+                self.metrics.set_gauge(
+                    f"mem.pool{bits}.bytes", size * n * itemsize
+                )
+            self.metrics.set_gauge(
+                "mem.footprint_bytes", model.layout.footprint_bytes(n)
+            )
 
     # -- state access -------------------------------------------------------------
 
@@ -98,11 +133,30 @@ class BatchSimulator:
 
     # -- evaluation ---------------------------------------------------------------
 
+    def _clock_level(self, clock: str) -> int:
+        """The batch-uniform level of ``clock``; rejects divergent lanes.
+
+        Edge detection reads one value per clock, so a per-lane clock
+        vector would silently ignore every lane but 0 — fail loudly
+        instead (clocks are batch-uniform by contract; see class docs).
+        """
+        vals = self.arrays.read(clock)
+        if vals.size > 1 and not bool((vals == vals[0]).all()):
+            raise SimulationError(
+                f"clock {clock!r} has different values across lanes; "
+                "clocks are batch-uniform — drive them with set_clock() "
+                "or a scalar write"
+            )
+        return int(vals[0]) & 1
+
     def _triggered_domains(self) -> List[Tuple[str, str]]:
         out: List[Tuple[str, str]] = []
+        levels: Dict[str, int] = {}
         for clock, edge in self.model.clock_domains():
             prev = self._prev_clock.get(clock, 0)
-            now = int(self.arrays.read(clock)[0]) & 1
+            now = levels.get(clock)
+            if now is None:
+                now = levels[clock] = self._clock_level(clock)
             if edge == "posedge" and prev == 0 and now == 1:
                 out.append((clock, edge))
             elif edge == "negedge" and prev == 1 and now == 0:
@@ -113,6 +167,12 @@ class BatchSimulator:
         arrays = self.arrays
         arrays.commit_registers(domain)
         n = arrays.n
+        if self.metrics.enabled:
+            for pool_idx, _start, count in arrays.layout.reg_ranges.get(domain, ()):
+                self.metrics.inc(
+                    f"mem.pool{_POOL_BITS[pool_idx]}.commit_bytes",
+                    count * n * (1, 2, 4, 8)[pool_idx],
+                )
         for b in self.model.mem_writes:
             if (b.clock, b.edge) != domain:
                 continue
@@ -127,25 +187,58 @@ class BatchSimulator:
 
     # -- checkpointing ------------------------------------------------------------
 
+    def _layout_signature(self) -> str:
+        """Fingerprint of the memory layout (pool sizes + every variable's
+        placement) so a checkpoint can only restore into the same design."""
+        layout = self.model.layout
+        h = hashlib.sha256()
+        h.update(repr(layout.pool_sizes).encode())
+        for name in sorted(layout.slots):
+            s = layout.slots[name]
+            h.update(f"{name}:{s.pool}:{s.offset}:{s.limbs};".encode())
+        for name in sorted(layout.mems):
+            m = layout.mems[name]
+            h.update(f"{name}:{m.pool}:{m.base}:{m.depth};".encode())
+        return h.hexdigest()
+
     def save_checkpoint(self) -> dict:
         """Snapshot the complete simulation state (all lanes).
 
         The checkpoint is a plain dict of numpy arrays plus clock phase —
         picklable, so long regressions can be resumed across processes.
+        A layout signature ties it to this design's memory layout.
         """
         return {
             "pools": self.arrays.snapshot(),
             "prev_clock": dict(self._prev_clock),
             "cycles_run": self.cycles_run,
             "n": self.n,
+            "layout": {
+                "pool_sizes": list(self.model.layout.pool_sizes),
+                "signature": self._layout_signature(),
+            },
         }
 
     def restore_checkpoint(self, ckpt: dict) -> None:
-        """Restore a checkpoint taken by :meth:`save_checkpoint`."""
+        """Restore a checkpoint taken by :meth:`save_checkpoint`.
+
+        Rejects checkpoints from a different batch size *or* a different
+        design: same-``n`` checkpoints of another design would otherwise
+        restore silently and corrupt the pools.
+        """
         if ckpt.get("n") != self.n:
             raise SimulationError(
                 f"checkpoint is for batch size {ckpt.get('n')}, not {self.n}"
             )
+        layout = ckpt.get("layout")
+        if layout is not None:
+            mine = list(self.model.layout.pool_sizes)
+            if (list(layout.get("pool_sizes", ())) != mine
+                    or layout.get("signature") != self._layout_signature()):
+                raise SimulationError(
+                    "checkpoint does not match this design's memory layout "
+                    "(was it saved from a different design or partitioning?)"
+                )
         self.arrays.restore(ckpt["pools"])
         self._prev_clock = dict(ckpt["prev_clock"])
         self.cycles_run = ckpt["cycles_run"]
@@ -162,19 +255,31 @@ class BatchSimulator:
             self._commit(domain)
         self.executor.run_comb(self.arrays)
         for clock in self._prev_clock:
-            self._prev_clock[clock] = int(self.arrays.read(clock)[0]) & 1
+            self._prev_clock[clock] = self._clock_level(clock)
 
-    def cycle(self, inputs: Optional[Mapping[str, ArrayLike]] = None) -> None:
-        """Listing 1's loop body: set inputs, toggle the clock twice."""
-        if inputs:
-            with self.stopwatch.span("set_inputs"):
-                self.set_inputs(inputs)
-        with self.stopwatch.span("evaluate"):
+    def cycle(
+        self,
+        inputs: Union[Mapping[str, ArrayLike], Callable[[], Mapping], None] = None,
+    ) -> None:
+        """Listing 1's loop body: set inputs, toggle the clock twice.
+
+        ``inputs`` may be a mapping or a zero-argument callable returning
+        one — the callable is invoked *inside* the ``set_inputs`` span so
+        stimulus decode cost is attributed to input setting (Fig. 2).
+        """
+        if inputs is not None:
+            with self.stopwatch.span("set_inputs"), \
+                    self.tracer.span("set_inputs", resource="sim"):
+                self.set_inputs(inputs() if callable(inputs) else inputs)
+        with self.stopwatch.span("evaluate"), \
+                self.tracer.span("evaluate", resource="sim"):
             self.set_clock(0)
             self.evaluate()
             self.set_clock(1)
             self.evaluate()
         self.cycles_run += 1
+        if self.metrics.enabled:
+            self.metrics.inc("sim.cycles")
 
     def run(
         self,
@@ -210,16 +315,13 @@ class BatchSimulator:
         )
         traces: Dict[str, List[np.ndarray]] = {n: [] for n in names}
         for c in range(total):
+            # One shared loop body with cycle() so the two paths can't
+            # drift; the lambda defers stimulus decode into the
+            # set_inputs span.
             if stimulus is not None and c < len(stimulus):
-                with self.stopwatch.span("set_inputs"):
-                    for name, arr in stimulus.inputs_at(c).items():
-                        self.set_input(name, arr)
-            with self.stopwatch.span("evaluate"):
-                self.set_clock(0)
-                self.evaluate()
-                self.set_clock(1)
-                self.evaluate()
-            self.cycles_run += 1
+                self.cycle(lambda c=c: stimulus.inputs_at(c))
+            else:
+                self.cycle()
             if trace_every and (c % trace_every == trace_every - 1):
                 for n in names:
                     traces[n].append(self.get(n).copy())
@@ -229,5 +331,11 @@ class BatchSimulator:
                 if done:
                     break
         if trace_every:
-            return {n: np.stack(v) if v else np.empty((0, self.n)) for n, v in traces.items()}
+            # Empty traces keep the signal's sampled dtype so downstream
+            # comparisons don't silently promote to float64.
+            return {
+                n: np.stack(v) if v
+                else np.empty((0, self.n), dtype=self.get(n).dtype)
+                for n, v in traces.items()
+            }
         return {n: self.get(n).copy() for n in names}

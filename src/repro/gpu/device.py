@@ -22,7 +22,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
-from repro.gpu.timeline import Tracer
+from repro.obs import get_tracer
+from repro.obs.trace import Tracer
 
 # Defaults are in the ballpark of measured CUDA driver costs: a few
 # microseconds per kernel launch / event op, slightly more for a whole
@@ -72,7 +73,7 @@ class SimulatedDevice:
         self.graph_launch_s = graph_launch_us * 1e-6
         self.sync_s = sync_us * 1e-6
         self.stats = DeviceStats()
-        self.tracer = tracer or Tracer(enabled=False)
+        self.tracer = tracer if tracer is not None else get_tracer()
         self._lock = threading.RLock()
 
     # -- primitive operations ---------------------------------------------------
@@ -83,7 +84,8 @@ class SimulatedDevice:
             self.stats.kernel_launches += 1
             self.stats.overhead_seconds += self.kernel_launch_s
             t0 = time.perf_counter()
-            with self.tracer.span(f"GPU:{stream}", getattr(kernel, "__name__", "k")):
+            with self.tracer.span(getattr(kernel, "__name__", "k"),
+                                  resource=f"GPU:{stream}"):
                 kernel(*args)
             self.stats.busy_seconds += time.perf_counter() - t0
 
@@ -93,7 +95,17 @@ class SimulatedDevice:
             self.stats.graph_launches += 1
             self.stats.overhead_seconds += self.graph_launch_s
             t0 = time.perf_counter()
-            with self.tracer.span("GPU", "cudaGraphLaunch"):
+            tracer = self.tracer
+            if tracer.enabled:
+                # Per-task kernel spans nest under the graph-launch span,
+                # giving the per-kernel timing the MCMC estimator and the
+                # profile report read back from the aggregates.
+                with tracer.span("cudaGraphLaunch", resource="GPU"):
+                    for k in kernels:
+                        with tracer.span(getattr(k, "__name__", "k"),
+                                         resource="GPU"):
+                            k(*args)
+            else:
                 for k in kernels:
                     k(*args)
             self.stats.busy_seconds += time.perf_counter() - t0
@@ -122,6 +134,16 @@ class SimulatedDevice:
         if wall_seconds <= 0:
             return 0.0
         return min(1.0, self.stats.busy_seconds / wall_seconds)
+
+    def publish_metrics(self, registry, prefix: str = "device.") -> None:
+        """Publish launch/overhead/busy stats as gauges on ``registry``."""
+        s = self.stats
+        registry.set_gauge(prefix + "kernel_launches", s.kernel_launches)
+        registry.set_gauge(prefix + "graph_launches", s.graph_launches)
+        registry.set_gauge(prefix + "event_ops", s.event_ops)
+        registry.set_gauge(prefix + "sync_calls", s.sync_calls)
+        registry.set_gauge(prefix + "busy_seconds", s.busy_seconds)
+        registry.set_gauge(prefix + "overhead_seconds", s.overhead_seconds)
 
     def reset(self) -> None:
         self.stats.reset()

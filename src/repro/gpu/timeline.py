@@ -1,22 +1,28 @@
 """Nsight-Systems-like timeline capture (Figs. 10 and 16).
 
-Executors and the pipeline scheduler record named spans on named resource
-rows ("CPU0", "GPU", "stream1", ...); :func:`render_timeline` draws an
-ASCII swimlane chart so the overlap structure the paper shows with Nsight
-screenshots can be inspected in a terminal.
+Compatibility facade: the span recorder now lives in :mod:`repro.obs`
+(:class:`repro.obs.Tracer` — same resource-row model plus hierarchical
+nesting, aggregates and Chrome-trace export).  This module re-exports it
+under the historical name and keeps :class:`TimelineSpan` /
+:func:`render_timeline` for callers that build timelines by hand (e.g.
+the virtual-time pipeline renderer).
+
+Note the unified span signature: ``tracer.span(name, resource=...)``.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+
+from repro.obs.trace import Tracer, render_timeline
+
+__all__ = ["Tracer", "TimelineSpan", "render_timeline"]
 
 
 @dataclass
 class TimelineSpan:
+    """A hand-constructed span for :func:`render_timeline`."""
+
     resource: str
     name: str
     start: float
@@ -25,84 +31,3 @@ class TimelineSpan:
     @property
     def duration(self) -> float:
         return self.end - self.start
-
-
-class Tracer:
-    """Thread-safe span recorder."""
-
-    def __init__(self, enabled: bool = True):
-        self.enabled = enabled
-        self.spans: List[TimelineSpan] = []
-        self._lock = threading.Lock()
-        self._t0 = time.perf_counter()
-
-    def reset(self) -> None:
-        with self._lock:
-            self.spans.clear()
-            self._t0 = time.perf_counter()
-
-    @contextmanager
-    def span(self, resource: str, name: str) -> Iterator[None]:
-        if not self.enabled:
-            yield
-            return
-        start = time.perf_counter() - self._t0
-        try:
-            yield
-        finally:
-            end = time.perf_counter() - self._t0
-            with self._lock:
-                self.spans.append(TimelineSpan(resource, name, start, end))
-
-    def record(self, resource: str, name: str, start: float, end: float) -> None:
-        if not self.enabled:
-            return
-        with self._lock:
-            self.spans.append(TimelineSpan(resource, name, start, end))
-
-    def busy_by_resource(self) -> Dict[str, float]:
-        out: Dict[str, float] = {}
-        with self._lock:
-            for s in self.spans:
-                out[s.resource] = out.get(s.resource, 0.0) + s.duration
-        return out
-
-    def window(self) -> float:
-        with self._lock:
-            if not self.spans:
-                return 0.0
-            return max(s.end for s in self.spans) - min(s.start for s in self.spans)
-
-
-def render_timeline(
-    spans: List[TimelineSpan],
-    width: int = 100,
-    resources: Optional[List[str]] = None,
-) -> str:
-    """ASCII swimlane rendering of a captured timeline.
-
-    Each row is a resource; ``#`` marks busy time.  Used by the harness to
-    reproduce the shape of the paper's Fig. 10 / Fig. 16 screenshots.
-    """
-    if not spans:
-        return "(empty timeline)"
-    t0 = min(s.start for s in spans)
-    t1 = max(s.end for s in spans)
-    total = max(t1 - t0, 1e-9)
-    if resources is None:
-        resources = sorted({s.resource for s in spans})
-    name_w = max(len(r) for r in resources) + 1
-    lines = []
-    scale = width / total
-    for r in resources:
-        row = [" "] * width
-        for s in spans:
-            if s.resource != r:
-                continue
-            a = int((s.start - t0) * scale)
-            b = max(a + 1, int((s.end - t0) * scale))
-            for i in range(a, min(b, width)):
-                row[i] = "#"
-        lines.append(f"{r:<{name_w}}|{''.join(row)}|")
-    lines.append(f"{'':<{name_w}} 0{'':{width - 10}}{total * 1000:.1f} ms")
-    return "\n".join(lines)

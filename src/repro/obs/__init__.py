@@ -1,0 +1,106 @@
+"""Unified telemetry: tracing, metrics, Chrome-trace export.
+
+This package is the single observability layer every runtime component
+reports into (the prerequisite for honest numbers in every perf PR):
+
+* :class:`~repro.obs.trace.Tracer` — hierarchical named spans on named
+  resource rows, thread-safe, with aggregate totals/counts/min/max and
+  export to Chrome-trace/Perfetto JSON or an ASCII swimlane.
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  histograms with JSON snapshot export.
+
+A *global default* tracer and registry exist so instrumented components
+(`BatchSimulator`, the executors, the scheduler, the MCMC partitioner)
+need no plumbing: they bind the defaults at construction.  Both start
+**disabled** — a disabled tracer/registry is a no-op, keeping the hot
+path overhead-free.  Enable them in place (``get_tracer().enabled =
+True``) or scoped via :func:`capture`::
+
+    with obs.capture() as (tracer, metrics):
+        sim = flow.simulator(n=1024)      # binds the enabled defaults
+        sim.run(stim)
+    tracer.write_chrome_trace("run.trace.json")
+    metrics.write_json("run.metrics.json")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span, SpanStats, Tracer, render_timeline
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanStats",
+    "Tracer",
+    "render_timeline",
+    "get_tracer",
+    "set_tracer",
+    "get_metrics",
+    "set_metrics",
+    "capture",
+    "kernel_time_summary",
+]
+
+_default_tracer = Tracer(enabled=False)
+_default_metrics = MetricsRegistry(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer (disabled until enabled)."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the default; returns the previous one."""
+    global _default_tracer
+    prev, _default_tracer = _default_tracer, tracer
+    return prev
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide default metrics registry."""
+    return _default_metrics
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the default; returns the previous one."""
+    global _default_metrics
+    prev, _default_metrics = _default_metrics, registry
+    return prev
+
+
+@contextmanager
+def capture(
+    trace: bool = True, metrics: bool = True
+) -> Iterator[Tuple[Tracer, MetricsRegistry]]:
+    """Install fresh *enabled* defaults for the duration of the block.
+
+    Components constructed inside the block bind the enabled instances;
+    the previous defaults are restored on exit.  Yields the pair so the
+    caller can export after the block.
+    """
+    tracer = Tracer(enabled=trace)
+    registry = MetricsRegistry(enabled=metrics)
+    prev_t = set_tracer(tracer)
+    prev_m = set_metrics(registry)
+    try:
+        yield tracer, registry
+    finally:
+        set_tracer(prev_t)
+        set_metrics(prev_m)
+
+
+def kernel_time_summary(tracer: Tracer, prefix: str = "task_") -> dict:
+    """Per-task kernel time stats from a tracer's aggregates (for the
+    metrics JSON: ``{"task_3": {"total_seconds": ..., "count": ...}}``)."""
+    return {
+        name: stats.as_dict()
+        for name, stats in sorted(tracer.aggregate(prefix=prefix).items())
+    }

@@ -1,0 +1,206 @@
+"""Counters, gauges and histograms with JSON snapshot export.
+
+The registry records the quantities the paper's evaluation keys on:
+kernel launches, bytes moved per pool, cycles simulated, MCMC
+evaluations/acceptance rate/cost trajectory, pipeline-stage overlap — as
+plain named instruments.  Thread-safe; a disabled registry is a no-op so
+instrumented hot paths cost one attribute check when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing count (launches, cycles, evaluations)."""
+
+    __slots__ = ("name", "help", "value", "_lock")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-write-wins value (pool bytes, acceptance rate, utilization)."""
+
+    __slots__ = ("name", "help", "value", "_lock")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self.value = value
+
+    def add(self, amount: Number) -> None:
+        with self._lock:
+            self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Streaming distribution summary plus a bounded sample reservoir.
+
+    Tracks exact count/sum/min/max; keeps the first ``max_samples``
+    observations so snapshots can report percentiles and (for e.g. the
+    MCMC cost trajectory) the raw series.
+    """
+
+    __slots__ = ("name", "help", "count", "sum", "min", "max",
+                 "max_samples", "samples", "_lock")
+
+    def __init__(self, name: str, help: str = "", max_samples: int = 4096):
+        self.name = name
+        self.help = help
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.max_samples = max_samples
+        self.samples: List[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: Number) -> None:
+        v = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += v
+            if v < self.min:
+                self.min = v
+            if v > self.max:
+                self.max = v
+            if len(self.samples) < self.max_samples:
+                self.samples.append(v)
+
+    def percentile(self, q: float) -> float:
+        """Percentile (0..100) over the retained samples."""
+        with self._lock:
+            if not self.samples:
+                return 0.0
+            data = sorted(self.samples)
+        k = (len(data) - 1) * q / 100.0
+        lo = int(k)
+        hi = min(lo + 1, len(data) - 1)
+        return data[lo] + (data[hi] - data[lo]) * (k - lo)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create access and JSON export."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- instrument access -------------------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name, help)
+            return c
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge(name, help)
+            return g
+
+    def histogram(self, name: str, help: str = "",
+                  max_samples: int = 4096) -> Histogram:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(name, help, max_samples)
+            return h
+
+    # -- recording conveniences (no-ops when disabled) ---------------------------
+
+    def inc(self, name: str, amount: Number = 1) -> None:
+        if self.enabled:
+            self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        if self.enabled:
+            self.gauge(name).set(value)
+
+    def observe(self, name: str, value: Number) -> None:
+        if self.enabled:
+            self.histogram(name).observe(value)
+
+    # -- export ------------------------------------------------------------------
+
+    def snapshot(self, extra: Optional[dict] = None) -> dict:
+        """A plain JSON-serializable dict of every instrument."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        out = {
+            "counters": {k: v.as_dict() for k, v in sorted(counters.items())},
+            "gauges": {k: v.as_dict() for k, v in sorted(gauges.items())},
+            "histograms": {
+                k: v.as_dict() for k, v in sorted(histograms.items())
+            },
+        }
+        if extra:
+            out.update(extra)
+        return out
+
+    def write_json(self, path: str, extra: Optional[dict] = None) -> str:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.snapshot(extra), fh, indent=2, default=float)
+        return path
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.gpu.device import SimulatedDevice
+from repro.obs import get_metrics, get_tracer
 from repro.partition.merge import DEFAULT_TARGET_WEIGHT, partition
 from repro.partition.taskgraph import TaskGraph
 from repro.partition.weights import WeightVector
@@ -67,12 +68,19 @@ class Estimator:
 
     def estimate_cost(self, taskgraph: TaskGraph) -> float:
         """Simulated device seconds for one full evaluation cycle."""
+        with get_tracer().span("estimate_cost", resource="mcmc"):
+            cost = self._estimate_cost(taskgraph)
+        get_metrics().observe("mcmc.estimate_cost_seconds", cost)
+        return cost
+
+    def _estimate_cost(self, taskgraph: TaskGraph) -> float:
         # Imported lazily: codegen depends on the partition package.
         from repro.core.codegen import KernelCodegen
         from repro.core.memory import DeviceArrays
 
         self.evaluations += 1
-        model = KernelCodegen(taskgraph).compile()
+        with get_tracer().span("compile_candidate", resource="mcmc"):
+            model = KernelCodegen(taskgraph).compile()
         arrays = DeviceArrays(model.layout, self.n)
         for name, vals in self._input_data.items():
             arrays.write(name, vals)
@@ -173,6 +181,26 @@ class MCMCPartitioner:
         return min(1.0, math.exp(self.beta * rel))
 
     def optimize(self) -> MCMCResult:
+        with get_tracer().span("mcmc.optimize", resource="mcmc"):
+            result = self._optimize()
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("mcmc.runs")
+            metrics.inc("mcmc.iterations", result.iterations)
+            metrics.inc("mcmc.evaluations", result.evaluations)
+            metrics.inc("mcmc.accepted", result.accepted)
+            metrics.set_gauge(
+                "mcmc.acceptance_rate",
+                result.accepted / result.iterations if result.iterations else 0.0,
+            )
+            metrics.set_gauge("mcmc.initial_cost", result.initial_cost)
+            metrics.set_gauge("mcmc.best_cost", result.best_cost)
+            metrics.set_gauge("mcmc.improvement", result.improvement)
+            for cost in result.cost_history:
+                metrics.observe("mcmc.cost_trajectory", cost)
+        return result
+
+    def _optimize(self) -> MCMCResult:
         weights = WeightVector.ones(self.graph, self.top_k)  # line 5
         cur_cost = math.inf  # line 1
         best = weights.copy()

@@ -28,7 +28,9 @@ import numpy as np
 from repro.core.codegen import CompiledModel
 from repro.core.simulator import BatchSimulator
 from repro.gpu.device import SimulatedDevice
-from repro.gpu.timeline import Tracer
+from repro.obs import get_metrics, get_tracer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.utils.errors import SimulationError
 
 
@@ -70,6 +72,7 @@ class PipelineSimulator:
         device: Optional[SimulatedDevice] = None,
         pipeline: bool = True,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if groups <= 0 or n % groups != 0:
             raise SimulationError(
@@ -81,10 +84,13 @@ class PipelineSimulator:
         self.group_size = n // groups
         self.cpu_workers = max(1, cpu_workers)
         self.pipeline = pipeline
-        self.tracer = tracer or Tracer(enabled=False)
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.metrics = metrics if metrics is not None else get_metrics()
         self.device = device or SimulatedDevice(tracer=self.tracer)
         self.sims: List[BatchSimulator] = [
-            BatchSimulator(model, self.group_size, executor=executor, device=self.device)
+            BatchSimulator(model, self.group_size, executor=executor,
+                           device=self.device, tracer=self.tracer,
+                           metrics=self.metrics)
             for _ in range(groups)
         ]
         self.report = PipelineReport(groups=groups, n=n, pipelined=pipeline)
@@ -140,13 +146,35 @@ class PipelineSimulator:
         r.evaluate_seconds = self.device.stats.busy_seconds
         r.gpu_utilization = self.device.utilization(wall)
         r.cycles = total
+        self._publish_metrics(r)
         return {name: self.get(name) for name in names}
+
+    def _publish_metrics(self, r: PipelineReport) -> None:
+        """Pipeline-stage metrics: overlap ratio = how much CPU input
+        setting was hidden behind device evaluation this run."""
+        if not self.metrics.enabled:
+            return
+        m = self.metrics
+        m.set_gauge("pipeline.groups", r.groups)
+        m.set_gauge("pipeline.cycles", r.cycles)
+        m.set_gauge("pipeline.set_inputs_seconds", r.set_inputs_seconds)
+        m.set_gauge("pipeline.evaluate_seconds", r.evaluate_seconds)
+        m.set_gauge("pipeline.gpu_utilization", r.gpu_utilization)
+        if r.wall_seconds > 0:
+            stage_sum = r.set_inputs_seconds + r.evaluate_seconds
+            overlap = max(0.0, stage_sum - r.wall_seconds)
+            denom = min(r.set_inputs_seconds, r.evaluate_seconds)
+            m.set_gauge(
+                "pipeline.overlap_ratio",
+                overlap / denom if denom > 0 else 0.0,
+            )
 
     def _set_inputs_group(self, g: int, stim, cycle: int, acc: List[float]) -> None:
         lo = g * self.group_size
         hi = lo + self.group_size
         t0 = time.perf_counter()
-        with self.tracer.span(f"CPU{g % self.cpu_workers}", f"set_inputs g{g} c{cycle}"):
+        with self.tracer.span(f"set_inputs g{g} c{cycle}",
+                              resource=f"CPU{g % self.cpu_workers}"):
             values = stim.inputs_at_range(cycle, lo, hi)
             self.sims[g].set_inputs(values)
         acc[g] += time.perf_counter() - t0
@@ -246,6 +274,7 @@ class PipelineSimulator:
         else:
             r.wall_seconds = seq.makespan
             r.gpu_utilization = seq.gpu_utilization
+        self._publish_metrics(r)
         return {name: self.get(name) for name in names}
 
     def _run_sequential(self, stim, total: int, acc: List[float]) -> None:

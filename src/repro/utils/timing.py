@@ -1,44 +1,28 @@
-"""Lightweight wall-clock timing helpers used by the harness and schedulers."""
+"""Lightweight wall-clock timing helpers used by the harness and schedulers.
+
+:class:`Stopwatch` is now a thin facade over the unified tracer
+(:mod:`repro.obs`): an always-on, aggregate-only :class:`~repro.obs.Tracer`
+that keeps the historical API (``span(name)``, ``totals``, ``counts``,
+``add``, ``total``, ``reset``) while sharing one implementation with the
+timeline tracer.
+"""
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import List
+
+from repro.obs.trace import Tracer
 
 
-@dataclass
-class Stopwatch:
-    """Accumulates named wall-clock spans.
+class Stopwatch(Tracer):
+    """Accumulates named wall-clock spans (aggregates only, no timeline).
 
     Used by the runtime to produce the Fig. 2 style breakdowns
     (set_inputs vs evaluate) without external profilers.
     """
 
-    totals: Dict[str, float] = field(default_factory=dict)
-    counts: Dict[str, int] = field(default_factory=dict)
-
-    @contextmanager
-    def span(self, name: str) -> Iterator[None]:
-        t0 = time.perf_counter()
-        try:
-            yield
-        finally:
-            dt = time.perf_counter() - t0
-            self.totals[name] = self.totals.get(name, 0.0) + dt
-            self.counts[name] = self.counts.get(name, 0) + 1
-
-    def add(self, name: str, seconds: float) -> None:
-        self.totals[name] = self.totals.get(name, 0.0) + seconds
-        self.counts[name] = self.counts.get(name, 0) + 1
-
-    def total(self, name: str) -> float:
-        return self.totals.get(name, 0.0)
-
-    def reset(self) -> None:
-        self.totals.clear()
-        self.counts.clear()
+    def __init__(self) -> None:
+        super().__init__(enabled=True, keep_spans=False)
 
 
 def format_duration(seconds: float) -> str:

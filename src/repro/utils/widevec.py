@@ -319,7 +319,14 @@ def red_xor(a):
 
 
 def mux(cond: np.ndarray, t: np.ndarray, f: np.ndarray) -> np.ndarray:
-    """(N,) cond selecting between (L, N) values."""
+    """(N,) cond selecting between (L, N) values.
+
+    Accepts a 0-d/scalar cond: an all-constant condition folds to a
+    numpy scalar in the generated kernels.
+    """
+    cond = np.asarray(cond)
+    if cond.ndim == 0:
+        return np.where(cond != 0, t, f)
     return np.where(cond[None, :] != 0, t, f)
 
 

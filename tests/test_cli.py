@@ -98,6 +98,57 @@ class TestCoverage:
                      "-c", "10", "--ports-only"]) == 0
 
 
+class TestTelemetryFlags:
+    def test_simulate_trace_and_metrics_json(self, counter_v, tmp_path,
+                                             capsys):
+        import json
+
+        trace = str(tmp_path / "run.trace.json")
+        metrics = str(tmp_path / "run.metrics.json")
+        assert main(["simulate", counter_v, "--top", "counter",
+                     "-n", "4", "-c", "10",
+                     "--trace-json", trace, "--metrics-json", metrics]) == 0
+        doc = json.load(open(trace))
+        assert doc["traceEvents"]
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+        snap = json.load(open(metrics))
+        assert snap["counters"]["sim.cycles"]["value"] == 10
+        assert snap["kernels"]  # per-task kernel times
+
+
+class TestProfile:
+    def test_profile_emits_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        trace = str(tmp_path / "p.trace.json")
+        metrics = str(tmp_path / "p.metrics.json")
+        assert main(["profile", "counter", "-n", "8", "-c", "12",
+                     "--mcmc-iters", "2", "--timeline",
+                     "--trace-json", trace, "--metrics-json", metrics]) == 0
+        out = capsys.readouterr().out
+        assert "profile: counter" in out
+        assert "MCMC:" in out
+
+        doc = json.load(open(trace))
+        xs = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        names = {e["name"] for e in xs}
+        assert {"parse+elaborate", "transpile+compile", "evaluate"} <= names
+        for e in xs:
+            assert set(e) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+
+        snap = json.load(open(metrics))
+        assert snap["kernels"]  # per-task kernel times
+        assert any(k.startswith("task_") for k in snap["kernels"])
+        assert any(k.startswith("mem.pool") for k in snap["gauges"])
+        assert snap["counters"]["mcmc.evaluations"]["value"] > 0
+        assert "mcmc.acceptance_rate" in snap["gauges"]
+        assert snap["gauges"]["device.kernel_launches"]["value"] >= 0
+
+    def test_profile_unknown_design(self, capsys):
+        assert main(["profile", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestDesigns:
     def test_lists_bundled(self, capsys):
         assert main(["designs"]) == 0

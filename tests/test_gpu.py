@@ -104,22 +104,23 @@ class TestFusedExecution:
 class TestTimeline:
     def test_tracer_records_spans(self):
         tracer = Tracer(enabled=True)
-        with tracer.span("CPU0", "work"):
+        with tracer.span("work", resource="CPU0"):
             pass
         assert len(tracer.spans) == 1
         assert tracer.spans[0].resource == "CPU0"
+        assert tracer.spans[0].name == "work"
 
     def test_disabled_tracer_skips(self):
         tracer = Tracer(enabled=False)
-        with tracer.span("CPU0", "work"):
+        with tracer.span("work", resource="CPU0"):
             pass
         assert tracer.spans == []
 
     def test_busy_by_resource(self):
         tracer = Tracer(enabled=True)
-        tracer.record("GPU", "k", 0.0, 0.5)
-        tracer.record("GPU", "k", 1.0, 1.25)
-        tracer.record("CPU", "s", 0.0, 0.1)
+        tracer.record("k", 0.0, 0.5, resource="GPU")
+        tracer.record("k", 1.0, 1.25, resource="GPU")
+        tracer.record("s", 0.0, 0.1, resource="CPU")
         busy = tracer.busy_by_resource()
         assert busy["GPU"] == pytest.approx(0.75)
         assert busy["CPU"] == pytest.approx(0.1)

@@ -227,6 +227,27 @@ class TestWidevecUnits:
         assert int(out[0]) == 5
         assert int(out[1]) == 0xFFFFFFFFFFFFFFFF
 
+    def test_mux_accepts_scalar_cond(self):
+        # An all-constant ternary condition folds to a numpy scalar in
+        # the generated kernels; mux must broadcast it, not index it.
+        T = wv.from_ints([1, 2], 2)
+        F = wv.from_ints([3, 4], 2)
+        assert wv.to_ints(wv.mux(np.uint64(1), T, F)) == [1, 2]
+        assert wv.to_ints(wv.mux(np.uint64(0), T, F)) == [3, 4]
+        cond = np.array([1, 0], dtype=np.uint64)
+        assert wv.to_ints(wv.mux(cond, T, F)) == [1, 4]
+
+    def test_constant_folded_wide_ternary_cond(self):
+        # Regression: a concatenation-of-constants condition used to
+        # reach wv.mux as a 0-d scalar and raise IndexError.
+        src = """
+        module dut (input wire [64:0] a, input wire [64:0] f,
+                    output wire [64:0] y);
+            assign y = (((~(({1'd0, 1'd0}) ? (a) : (f)))) ? (a) : (a));
+        endmodule
+        """
+        assert_batch_matches_reference(src, "dut", n=4, cycles=2, seed=0)
+
 
 class TestCryptoWideDesign:
     def test_differential_vs_reference(self):
