@@ -15,7 +15,7 @@ import io
 import time
 import tokenize
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.rtlir.graph import RtlGraph
 

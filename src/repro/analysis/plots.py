@@ -9,7 +9,7 @@ figures at a glance without matplotlib.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 _MARKERS = "ox+*#@%&"
 

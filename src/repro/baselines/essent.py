@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.baselines.scalargen import ScalarModelSpec, generate_scalar_model
-from repro.rtlir.graph import NodeKind, RtlGraph
+from repro.rtlir.graph import RtlGraph
 from repro.utils import bitvec as bv
 from repro.utils.errors import SimulationError
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.elaborate.symexec import LoweredDesign
-from repro.rtlir.graph import NodeKind, RtlGraph
+from repro.rtlir.graph import RtlGraph
 from repro.utils import bitvec as bv
 from repro.utils.errors import SimulationError
 from repro.verilog import ast_nodes as A

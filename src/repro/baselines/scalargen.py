@@ -21,7 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.rtlir.graph import NodeKind, RtlGraph, RtlNode
+from repro.rtlir.graph import NodeKind, RtlGraph
 from repro.utils import bitvec as bv
 from repro.utils.errors import SimulationError
 from repro.verilog import ast_nodes as A

@@ -10,8 +10,7 @@ of the batch start to finish).
 from __future__ import annotations
 
 import concurrent.futures as cf
-import os
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 

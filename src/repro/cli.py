@@ -3,6 +3,9 @@
 Commands
 --------
 stats      Parse + elaborate a design and print RTL graph statistics.
+lint       Run the static-analysis rule pack (comb loops, multiple
+           drivers, width truncation, batch hazards, ...) and report
+           structured diagnostics; ``--fail-on`` gates the exit code.
 transpile  Emit the generated batch-kernel module (and optionally the
            Verilator-style scalar module) to files.
 simulate   Run a batch simulation from stimulus files (or random stimulus)
@@ -23,7 +26,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
 
 from repro import RTLFlow, obs
 from repro.analysis.metrics import code_metrics
@@ -40,10 +42,18 @@ def _load_flow(args) -> RTLFlow:
 def cmd_stats(args) -> int:
     flow = _load_flow(args)
     stats = flow.graph.stats()
+    tg = flow.taskgraph()
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {"top": args.top, "graph": stats, "taskgraph": tg.stats()},
+            indent=2, sort_keys=True, default=float,
+        ))
+        return 0
     rows = [[k, v] for k, v in stats.items()]
     print(format_table(["metric", "value"], rows,
                        title=f"RTL graph statistics: {args.top}"))
-    tg = flow.taskgraph()
     print()
     print(format_table(
         ["metric", "value"],
@@ -52,6 +62,64 @@ def cmd_stats(args) -> int:
         title="default task graph",
     ))
     return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.lint import Severity, lint_source
+
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        from repro.lint import RULES
+
+        unknown = sorted(set(rules) - set(RULES))
+        if unknown:
+            raise ReproError(
+                f"unknown lint rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(RULES))})"
+            )
+
+    jobs = []  # (filename, text, top)
+    if args.design:
+        from repro.designs import get_design, list_designs
+
+        names = list_designs() if "all" in args.design else args.design
+        for name in names:
+            bundle = get_design(name)
+            jobs.append((f"<design:{name}>", bundle.source, bundle.top))
+    if args.sources:
+        if not args.top:
+            raise ReproError("--top is required when linting source files")
+        texts = []
+        for path in args.sources:
+            with open(path, "r", encoding="utf-8") as fh:
+                texts.append(fh.read())
+        filename = args.sources[0] if len(args.sources) == 1 else "<input>"
+        jobs.append((filename, "\n".join(texts), args.top))
+    if not jobs:
+        raise ReproError("nothing to lint: pass source files or --design")
+
+    reports = [
+        lint_source(text, top, filename=fname, rules=rules)
+        for fname, text, top in jobs
+    ]
+
+    if args.json:
+        import json
+
+        payload = [r.to_dict() for r in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2, sort_keys=True))
+    else:
+        for i, report in enumerate(reports):
+            if i:
+                print()
+            print(report.format_text())
+
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity.parse(args.fail_on)
+    return 1 if any(r.at_least(threshold) for r in reports) else 0
 
 
 def cmd_transpile(args) -> int:
@@ -254,7 +322,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stats", help="print RTL graph statistics")
     add_design_args(p)
+    p.add_argument("--json", action="store_true",
+                   help="emit the statistics as JSON instead of tables")
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "lint",
+        help="static-analysis rule pack: comb loops, multiple drivers, "
+             "width truncation, batch hazards, ...",
+    )
+    p.add_argument("sources", nargs="*", help="Verilog source files")
+    p.add_argument("--top", default=None,
+                   help="top module name (required with source files)")
+    p.add_argument("--design", action="append", default=[],
+                   metavar="NAME",
+                   help="lint a bundled design ('all' for every one; "
+                        "repeatable; see `repro designs`)")
+    p.add_argument("--rules", default=None, metavar="ID[,ID...]",
+                   help="run only these rule ids (default: all)")
+    p.add_argument("--json", action="store_true",
+                   help="emit structured diagnostics as JSON")
+    p.add_argument("--fail-on", choices=["error", "warning", "info", "never"],
+                   default="error",
+                   help="exit 1 if any diagnostic at or above this "
+                        "severity fired (default: error)")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("transpile", help="emit the batch kernel module")
     add_design_args(p)

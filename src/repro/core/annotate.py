@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.partition.taskgraph import TaskGraph
-from repro.rtlir.graph import NodeKind, RtlNode
 from repro.verilog import ast_nodes as A
 
 

@@ -24,13 +24,11 @@ semantics match :func:`repro.baselines.reference.eval_expr` op for op
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-import numpy as np
 
-from repro.core import kernels as rt
-from repro.core.annotate import annotate_tasks, render_header
+from repro.core.annotate import render_header
 from repro.core.indexmap import IndexMapper
 from repro.core.memory import MemoryLayout
 from repro.partition.merge import partition

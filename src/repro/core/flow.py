@@ -15,9 +15,9 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, Mapping, Optional, Sequence
 
-from repro.core.codegen import CompiledModel, KernelCodegen, transpile
+from repro.core.codegen import CompiledModel, KernelCodegen
 from repro.core.simulator import BatchSimulator
 from repro.elaborate.elaborator import elaborate
 from repro.elaborate.symexec import LoweredDesign, lower
@@ -41,6 +41,9 @@ class RTLFlow:
         self._models: Dict[tuple, CompiledModel] = {}
         self.mcmc_result: Optional[MCMCResult] = None
         self._mcmc_weights: Optional[WeightVector] = None
+        # Filled by from_source when the embedded lint pass runs; None
+        # when the flow was built directly from a graph or lint=False.
+        self.lint_report = None
 
     # -- construction -----------------------------------------------------------
 
@@ -51,20 +54,62 @@ class RTLFlow:
         top: str,
         defines: Optional[Mapping[str, str]] = None,
         optimize: bool = True,
+        filename: str = "<input>",
+        lint: bool = True,
     ) -> "RTLFlow":
         """Parse + elaborate ``text``.
 
         ``optimize`` enables the inherited Verilator-style passes (copy
         propagation, dead-code elimination, inverter pushing); disable it
         to keep every named signal observable via ``sim.get``.
+
+        ``lint`` runs the static-analysis rule pack over the build
+        artifacts: error-severity findings raise
+        :class:`~repro.utils.errors.LintError` (a structurally bad design
+        is never silently simulated); warnings collect on
+        ``flow.lint_report``.  ``// repro lint_off RULE`` comments in the
+        source waive findings (see :mod:`repro.lint`).
         """
         from repro.elaborate.optimize import optimize_design
 
-        unit = parse_source(text, defines=dict(defines) if defines else None)
-        lowered = lower(elaborate(unit, top))
-        if optimize:
-            lowered = optimize_design(lowered)
-        return cls(build_graph(lowered))
+        unit = parse_source(text, filename, defines=dict(defines) if defines else None)
+        flat = elaborate(unit, top)
+        lowered = lower(flat)
+        optimized = optimize_design(lowered) if optimize else None
+        graph = build_graph(optimized if optimized is not None else lowered)
+        flow = cls(graph)
+        if lint:
+            from repro.lint import LintContext, lint_artifacts
+            from repro.utils.errors import LintError
+
+            report = lint_artifacts(
+                LintContext(
+                    top=top,
+                    filename=filename,
+                    unit=unit,
+                    flat=flat,
+                    lowered=lowered,
+                    optimized=optimized,
+                    graph=graph,
+                ),
+                text=text,
+            )
+            flow.lint_report = report
+            if report.errors:
+                first = report.errors[0]
+                raise LintError(
+                    f"lint: [{first.rule_id}] {first.message}"
+                    + (
+                        f" (+{len(report.errors) - 1} more error(s))"
+                        if len(report.errors) > 1
+                        else ""
+                    ),
+                    diagnostics=report.errors,
+                    filename=first.loc.filename if first.loc else filename,
+                    line=first.loc.line if first.loc else 0,
+                    col=first.loc.col if first.loc else 0,
+                )
+        return flow
 
     @classmethod
     def from_files(
@@ -73,12 +118,17 @@ class RTLFlow:
         top: str,
         defines: Optional[Mapping[str, str]] = None,
         optimize: bool = True,
+        lint: bool = True,
     ) -> "RTLFlow":
         chunks = []
         for p in paths:
             with open(p, "r", encoding="utf-8") as fh:
                 chunks.append(fh.read())
-        return cls.from_source("\n".join(chunks), top, defines, optimize)
+        filename = paths[0] if len(paths) == 1 else "<input>"
+        return cls.from_source(
+            "\n".join(chunks), top, defines, optimize,
+            filename=filename, lint=lint,
+        )
 
     @property
     def design(self) -> LoweredDesign:

@@ -9,7 +9,7 @@ carried over to the vectorized axis.
 
 from __future__ import annotations
 
-from repro.core.memory import MemoryLayout, MemSlot, VarSlot
+from repro.core.memory import MemoryLayout, VarSlot
 from repro.utils.errors import SimulationError
 
 POOL_VARS = ("P8", "P16", "P32", "P64")

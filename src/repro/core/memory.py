@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.rtlir.graph import NodeKind, RtlGraph
+from repro.rtlir.graph import RtlGraph
 from repro.utils import bitvec as bv
 from repro.utils import widevec as wv
 from repro.utils.errors import SimulationError

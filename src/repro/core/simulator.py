@@ -24,7 +24,6 @@ from repro.gpu.stream import StreamExecutor
 from repro.obs import get_metrics, get_tracer
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
-from repro.utils import bitvec as bv
 from repro.utils.errors import SimulationError
 from repro.utils.timing import Stopwatch
 

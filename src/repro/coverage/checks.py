@@ -20,7 +20,7 @@ failed at which cycle, so a failing lane can be re-run with a VCD dump.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np

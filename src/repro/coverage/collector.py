@@ -14,7 +14,7 @@ simulator's per-group simulators) and samples toggle coverage each cycle::
 from __future__ import annotations
 
 import re
-from typing import Iterable, List, Mapping, Optional
+from typing import Iterable, Optional
 
 from repro.coverage.toggle import CoverageReport, ToggleCoverage
 from repro.utils.errors import SimulationError

@@ -10,7 +10,6 @@ where >64-bit RTL signals actually show up.
 
 from __future__ import annotations
 
-from typing import List
 
 ROT_CONSTANTS = [17, 45, 86, 153, 7, 133, 201, 31]
 

@@ -8,7 +8,7 @@ different configurations"), and preload memories (program/weight images).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List
 
 import numpy as np
 

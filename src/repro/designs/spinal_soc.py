@@ -33,7 +33,7 @@ def generate(taps: int = 8, fifo_logd: int = 4) -> str:
         f"    reg [15:0] z{i};" for i in range(taps)
     )
     delay_shift = "\n".join(
-        [f"            z0 <= sample;"]
+        ["            z0 <= sample;"]
         + [f"            z{i} <= z{i - 1};" for i in range(1, taps)]
     )
     prod_decls = "\n".join(

@@ -22,12 +22,19 @@ MAX_MEMORY_WIDTH = 64  # memory elements stay single-limb
 
 @dataclass
 class Signal:
-    """A flat scalar/vector signal."""
+    """A flat scalar/vector signal.
+
+    ``line``/``col`` locate the source declaration (0 = synthesized
+    signal, e.g. a concat temp or a split piece); diagnostics and lint
+    records use them to point at the offending declaration.
+    """
 
     name: str
     width: int
     kind: str  # 'input' | 'output' | 'wire' | 'reg'
     lsb: int = 0  # declared low bit index (e.g. [7:4] -> lsb 4)
+    line: int = 0
+    col: int = 0
 
     @property
     def is_state(self) -> bool:
@@ -41,6 +48,8 @@ class Memory:
     name: str
     width: int
     depth: int
+    line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -77,6 +86,7 @@ class FlatDesign:
     """The flat, parameter-free design produced by elaboration."""
 
     top: str
+    filename: str = "<input>"
     signals: Dict[str, Signal] = field(default_factory=dict)
     memories: Dict[str, Memory] = field(default_factory=dict)
     assigns: List[Tuple[A.Expr, A.Expr]] = field(default_factory=list)
@@ -94,11 +104,15 @@ class FlatDesign:
 
     def add_signal(self, sig: Signal) -> None:
         if sig.name in self.signals or sig.name in self.memories:
-            raise ElaborationError(f"duplicate signal {sig.name!r}")
+            raise ElaborationError(
+                f"duplicate signal {sig.name!r}",
+                filename=self.filename, line=sig.line, col=sig.col,
+            )
         if sig.width <= 0 or sig.width > MAX_SIGNAL_WIDTH:
             raise WidthError(
                 f"signal {sig.name!r} has width {sig.width}; supported range is "
-                f"1..{MAX_SIGNAL_WIDTH}"
+                f"1..{MAX_SIGNAL_WIDTH}",
+                filename=self.filename, line=sig.line, col=sig.col,
             )
         self.signals[sig.name] = sig
 
@@ -357,7 +371,7 @@ class Elaborator:
             module = self.unit.module(top)
         except KeyError as exc:
             raise ElaborationError(str(exc)) from exc
-        design = FlatDesign(top=top)
+        design = FlatDesign(top=top, filename=self.unit.filename)
         self._partials: List[Tuple[str, int, int, A.Expr]] = []
         self._instantiate(design, module, prefix="", overrides={}, is_top=True, depth=0)
         self._merge_partials(design)
@@ -497,18 +511,21 @@ class Elaborator:
         port_kinds: Dict[str, str] = {}
         widths: Dict[str, Tuple[int, int]] = {}
         memories: Dict[str, Tuple[int, int]] = {}
+        locs: Dict[str, Tuple[int, int]] = {}  # name -> declaration (line, col)
         decls_by_scope: Dict[str, set] = {}
 
         for env, scope, item in expanded:
             if isinstance(item, A.PortDecl):
                 if scope:
                     raise ElaborationError(
-                        f"port {item.name!r} declared inside a generate block"
+                        f"port {item.name!r} declared inside a generate block",
+                        filename=self.unit.filename, line=item.line, col=item.col,
                     )
                 port_dirs[item.name] = item.direction
                 if item.kind == "reg":
                     port_kinds[item.name] = "reg"
                 widths[item.name] = self._range_width(item.rng, env)
+                locs[item.name] = (item.line, item.col)
             elif isinstance(item, A.NetDecl):
                 if not scope and item.name in port_dirs:
                     # Non-ANSI style: `output q; reg q;` refines the kind.
@@ -518,9 +535,11 @@ class Elaborator:
                 sname = scope + item.name
                 if sname in widths or sname in memories:
                     raise ElaborationError(
-                        f"duplicate declaration of {prefix + sname!r}"
+                        f"duplicate declaration of {prefix + sname!r}",
+                        filename=self.unit.filename, line=item.line, col=item.col,
                     )
                 decls_by_scope.setdefault(scope, set()).add(item.name)
+                locs[sname] = (item.line, item.col)
                 if item.array is not None:
                     w, _ = self._range_width(item.rng, env)
                     amsb = eval_const(item.array.msb, env)
@@ -528,7 +547,9 @@ class Elaborator:
                     lo, hi = min(amsb, alsb), max(amsb, alsb)
                     if lo != 0:
                         raise UnsupportedFeatureError(
-                            f"memory {item.name!r} must be indexed from 0"
+                            f"memory {item.name!r} must be indexed from 0",
+                            filename=self.unit.filename,
+                            line=item.line, col=item.col,
                         )
                     memories[sname] = (w, hi + 1)
                 else:
@@ -577,14 +598,17 @@ class Elaborator:
                 kind = port_dirs[name] if is_top else port_kinds.get(name, "wire")
             else:
                 kind = port_kinds.get(name, "wire")
-            design.add_signal(Signal(prefix + name, w, kind, lsb))
+            dline, dcol = locs.get(name, (0, 0))
+            design.add_signal(Signal(prefix + name, w, kind, lsb, dline, dcol))
         for name, (w, d) in memories.items():
+            dline, dcol = locs.get(name, (0, 0))
             if w > MAX_MEMORY_WIDTH:
                 raise WidthError(
                     f"memory {name!r} element width {w} exceeds "
-                    f"{MAX_MEMORY_WIDTH}; split into parallel memories"
+                    f"{MAX_MEMORY_WIDTH}; split into parallel memories",
+                    filename=self.unit.filename, line=dline, col=dcol,
                 )
-            design.memories[prefix + name] = Memory(prefix + name, w, d)
+            design.memories[prefix + name] = Memory(prefix + name, w, d, dline, dcol)
 
         # Functions: declare their formal/local/return signals (so widths
         # are known at inlining time) and register the renamed bodies.
@@ -712,7 +736,8 @@ class Elaborator:
         except KeyError:
             raise ElaborationError(
                 f"instance {prefix + inst.name!r} references unknown module "
-                f"{inst.module!r}"
+                f"{inst.module!r}",
+                filename=self.unit.filename, line=inst.line, col=inst.col,
             )
         design.n_cells += 1
         child_prefix = prefix + inst.name + "."
@@ -726,7 +751,8 @@ class Elaborator:
         if inst.by_order is not None:
             if len(inst.by_order) > len(child.port_order):
                 raise ElaborationError(
-                    f"instance {inst.name!r}: too many positional connections"
+                    f"instance {inst.name!r}: too many positional connections",
+                    filename=self.unit.filename, line=inst.line, col=inst.col,
                 )
             for pname, expr in zip(child.port_order, inst.by_order):
                 conns[pname] = expr
@@ -738,7 +764,8 @@ class Elaborator:
             if pname not in child_ports:
                 raise ElaborationError(
                     f"instance {inst.name!r}: module {child.name!r} has no port "
-                    f"{pname!r}"
+                    f"{pname!r}",
+                    filename=self.unit.filename, line=inst.line, col=inst.col,
                 )
 
         # Decide which ports collapse into the parent signal (connection is

@@ -21,7 +21,7 @@ differential suite runs both optimized and unoptimized pipelines.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.elaborate.symexec import CombAssign, LoweredDesign, MemWrite, SeqBlock
 from repro.verilog import ast_nodes as A
@@ -224,4 +224,5 @@ def optimize_design(design: LoweredDesign, inverters: bool = True) -> LoweredDes
         comb=comb,
         seq=seq,
         n_cells=design.n_cells,
+        filename=design.filename,
     )

@@ -19,10 +19,10 @@ from __future__ import annotations
 import copy
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
 from repro.elaborate.constfold import eval_const, fold_expr, try_const
-from repro.elaborate.elaborator import FlatDesign, Memory, RawAlways, Signal
+from repro.elaborate.elaborator import FlatDesign, Memory, Signal
 from repro.utils.errors import ElaborationError, UnsupportedFeatureError
 from repro.verilog import ast_nodes as A
 
@@ -82,6 +82,7 @@ class LoweredDesign:
     comb: List[CombAssign]
     seq: List[SeqBlock]
     n_cells: int = 0
+    filename: str = "<input>"
 
     @property
     def inputs(self) -> List[Signal]:
@@ -680,4 +681,5 @@ def lower(flat: FlatDesign) -> LoweredDesign:
         comb=comb,
         seq=seq,
         n_cells=flat.n_cells,
+        filename=flat.filename,
     )

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
 from repro.obs import get_tracer
 from repro.obs.trace import Tracer

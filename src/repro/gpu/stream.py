@@ -10,7 +10,7 @@ overhead CUDA Graph removes.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict
 
 from repro.gpu.device import DeviceEvent, SimulatedDevice
 

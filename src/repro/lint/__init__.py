@@ -1,0 +1,29 @@
+"""repro.lint — rule-based static analysis for the RTL flow.
+
+Runs a pack of structural, width, and batch-hazard rules over the typed
+AST / flat design / lowered RtlGraph artifacts and returns structured
+:class:`Diagnostic` records.  Exposed as ``repro lint`` on the CLI and
+embedded in :meth:`repro.core.flow.RTLFlow.from_source` (errors raise
+:class:`~repro.utils.errors.LintError`, warnings collect on
+``flow.lint_report``).  See ``docs/lint.md`` for the rule reference.
+"""
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity, SourceLoc
+from repro.lint.engine import lint_artifacts, lint_source
+from repro.lint.rules import RULES, LintContext, Rule, all_rules
+from repro.lint.waivers import WaiverSet, scan_waivers
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "SourceLoc",
+    "LintContext",
+    "Rule",
+    "RULES",
+    "all_rules",
+    "lint_artifacts",
+    "lint_source",
+    "WaiverSet",
+    "scan_waivers",
+]

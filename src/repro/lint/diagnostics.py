@@ -1,0 +1,159 @@
+"""Structured lint diagnostics.
+
+A :class:`Diagnostic` is one finding of one rule against one design:
+rule id, severity, optional source location, human message, and an
+actionable hint.  A :class:`LintReport` is the ordered collection the
+engine returns, with text and JSON renderers shared by the CLI, the CI
+gate, and ``RTLFlow.from_source``'s embedded lint pass.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so comparisons mean what you expect."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                + ", ".join(s.name.lower() for s in cls)
+            )
+
+    def __str__(self) -> str:  # 'error', not 'Severity.ERROR'
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """A ``file:line:col`` source location (line 1-based, 0 = unknown)."""
+
+    filename: str = "<input>"
+    line: int = 0
+    col: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.col}"
+
+
+@dataclass
+class Diagnostic:
+    """One lint finding."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    hint: str = ""
+    loc: Optional[SourceLoc] = None
+    # Primary design object (flat signal/memory name) the finding is
+    # about, when there is one; used for deduplication and waivers.
+    subject: Optional[str] = None
+
+    def format(self) -> str:
+        where = f"{self.loc}: " if self.loc else ""
+        text = f"{where}{self.severity}: [{self.rule_id}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        if self.hint:
+            out["hint"] = self.hint
+        if self.subject:
+            out["subject"] = self.subject
+        if self.loc is not None:
+            out["file"] = self.loc.filename
+            out["line"] = self.loc.line
+            out["col"] = self.loc.col
+        return out
+
+
+@dataclass
+class LintReport:
+    """All diagnostics the engine produced for one design."""
+
+    top: str = ""
+    filename: str = "<input>"
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    # Diagnostics suppressed by `// repro lint_off RULE` waivers, kept so
+    # --json consumers can audit what was waived.
+    waived: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, diags) -> None:
+        self.diagnostics.extend(diags)
+
+    # -- queries ---------------------------------------------------------------
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    def at_least(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= severity]
+
+    def counts(self) -> Dict[str, int]:
+        out = {str(s): 0 for s in Severity}
+        for d in self.diagnostics:
+            out[str(d.severity)] += 1
+        return out
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def rule_ids(self) -> List[str]:
+        return sorted({d.rule_id for d in self.diagnostics})
+
+    # -- rendering -------------------------------------------------------------
+
+    def format_text(self) -> str:
+        """The classic compiler-style listing plus a one-line summary."""
+        lines = [d.format() for d in self.diagnostics]
+        c = self.counts()
+        summary = (
+            f"{self.top}: {c['error']} error(s), {c['warning']} warning(s), "
+            f"{c['info']} info"
+        )
+        if self.waived:
+            summary += f", {len(self.waived)} waived"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "top": self.top,
+            "file": self.filename,
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "waived": [d.to_dict() for d in self.waived],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

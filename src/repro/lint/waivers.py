@@ -1,0 +1,67 @@
+"""Inline lint waivers: ``// repro lint_off RULE``.
+
+Waivers are scanned from the *raw* source text (the preprocessor strips
+comments before the lexer ever sees them, so this is a separate, cheap
+line scan).  Semantics follow Verilator's ``lint_off`` metacomments:
+
+* ``// repro lint_off RULE`` disables ``RULE`` from that line to the end
+  of the file (inclusive — a trailing comment on the offending line
+  waives that line);
+* ``// repro lint_on RULE`` re-enables it from the next line;
+* ``*`` waives every rule.
+
+Diagnostics that carry no source location can only be waived by a
+file-level waiver (one that is in force from line 1).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+
+_WAIVER_RE = re.compile(
+    r"//\s*repro\s+lint_(?P<toggle>off|on)\s+(?P<rule>[A-Za-z0-9_*-]+)"
+)
+
+
+@dataclass
+class WaiverSet:
+    """Per-rule line regions in which diagnostics are suppressed.
+
+    ``regions[rule]`` is a list of ``(start, end)`` line ranges, 1-based
+    inclusive, with ``end = None`` for open-ended (to end of file).
+    """
+
+    regions: Dict[str, List[Tuple[int, Optional[int]]]] = field(default_factory=dict)
+
+    def _covers(self, rule: str, line: int) -> bool:
+        for start, end in self.regions.get(rule, ()):
+            if line >= start and (end is None or line <= end):
+                return True
+        return False
+
+    def is_waived(self, diag: Diagnostic) -> bool:
+        # Unlocated diagnostics need a waiver in force from line 1.
+        line = diag.loc.line if diag.loc is not None and diag.loc.line else 1
+        return self._covers(diag.rule_id, line) or self._covers("*", line)
+
+
+def scan_waivers(text: str) -> WaiverSet:
+    """Collect waiver metacomments from raw source text."""
+    open_since: Dict[str, int] = {}
+    ws = WaiverSet()
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        for m in _WAIVER_RE.finditer(line):
+            rule = m.group("rule")
+            if m.group("toggle") == "off":
+                open_since.setdefault(rule, lineno)
+            else:
+                start = open_since.pop(rule, None)
+                if start is not None:
+                    ws.regions.setdefault(rule, []).append((start, lineno))
+    for rule, start in open_since.items():
+        ws.regions.setdefault(rule, []).append((start, None))
+    return ws

@@ -26,7 +26,7 @@ True``) or scoped via :func:`capture`::
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Tuple
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import Span, SpanStats, Tracer, render_timeline

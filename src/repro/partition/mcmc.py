@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -33,8 +33,7 @@ from repro.obs import get_metrics, get_tracer
 from repro.partition.merge import DEFAULT_TARGET_WEIGHT, partition
 from repro.partition.taskgraph import TaskGraph
 from repro.partition.weights import WeightVector
-from repro.rtlir.graph import NodeKind, RtlGraph
-from repro.utils.errors import SimulationError
+from repro.rtlir.graph import RtlGraph
 
 DEFAULT_MAX_ITER = 150  # the paper's sampling budget
 DEFAULT_MAX_UNIMPROVED = 30

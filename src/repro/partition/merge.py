@@ -20,7 +20,7 @@ concurrent kernels in the regions where the type dominates.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 from repro.partition.taskgraph import Task, TaskGraph
 from repro.partition.weights import WeightVector

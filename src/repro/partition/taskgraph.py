@@ -9,7 +9,7 @@ sequential tasks per clock domain.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.rtlir.graph import NodeKind, RtlGraph
 from repro.utils.errors import SimulationError

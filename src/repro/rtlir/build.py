@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Set
+from typing import List
 
 from repro.elaborate.symexec import LoweredDesign
 from repro.rtlir.graph import NodeKind, RtlGraph, RtlNode

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Set
 
-from repro.elaborate.symexec import LoweredDesign, MemWrite
+from repro.elaborate.symexec import LoweredDesign
 from repro.verilog import ast_nodes as A
 
 

@@ -15,7 +15,7 @@ simulator toggles them (Listing 1).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ random and concatenating generators over a design's input ports.
 from __future__ import annotations
 
 import re
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 

@@ -18,7 +18,7 @@ whitespace-separated hex words, ``//`` and ``/* */`` comments, and
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Union
+from typing import Dict, List
 
 from repro.utils.errors import SimulationError
 

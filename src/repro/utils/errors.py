@@ -2,27 +2,67 @@
 
 Every error raised by this package derives from :class:`ReproError`, so
 callers can catch one type to handle any toolchain failure.
+
+Errors raised against a known source construct carry a ``file:line:col``
+location (``filename``/``line``/``col`` attributes) and prefix their
+message with it, exactly like compiler diagnostics::
+
+    counter.v:12:8: expected ';' after statement
+
+``message`` always holds the un-prefixed text, so tooling (e.g. the lint
+engine, which converts pipeline failures into structured diagnostics)
+can re-attach the location in its own format.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro toolchain."""
+    """Base class for all errors raised by the repro toolchain.
+
+    ``filename``/``line``/``col`` are optional; when ``line`` is nonzero
+    the stringified exception is prefixed ``filename:line:col:``.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        filename: Optional[str] = None,
+        line: int = 0,
+        col: int = 0,
+    ):
+        self.message = message
+        self.filename = filename if filename is not None else "<input>"
+        self.line = line
+        self.col = col
+        if line:
+            message = f"{self.filename}:{line}:{col}: {message}"
+        super().__init__(message)
+
+    @property
+    def has_location(self) -> bool:
+        return bool(self.line)
 
 
 class VerilogSyntaxError(ReproError):
     """A lexing or parsing error in a Verilog source file.
 
     Carries the source location so that diagnostics point at the offending
-    token, e.g. ``counter.v:12:8: expected ';' after statement``.
+    token, e.g. ``counter.v:12:8: expected ';' after statement``.  Unlike
+    the other subclasses (which only prefix a location when one is known),
+    syntax errors always format the ``file:line:col:`` prefix — a parse
+    failure is always *somewhere* in the text.
     """
 
     def __init__(self, message: str, filename: str = "<input>", line: int = 0, col: int = 0):
+        self.message = message
         self.filename = filename
         self.line = line
         self.col = col
-        super().__init__(f"{filename}:{line}:{col}: {message}")
+        Exception.__init__(self, f"{filename}:{line}:{col}: {message}")
 
 
 class ElaborationError(ReproError):
@@ -35,6 +75,20 @@ class WidthError(ReproError):
 
 class UnsupportedFeatureError(ReproError):
     """The source uses a Verilog feature outside the supported subset."""
+
+
+class LintError(ReproError):
+    """An error-severity lint diagnostic raised from an API entry point.
+
+    ``repro lint`` reports diagnostics without raising; the library entry
+    points (``RTLFlow.from_source``) raise this so that a bad design can
+    never be silently simulated.  ``diagnostics`` holds every error-level
+    :class:`repro.lint.Diagnostic` that fired.
+    """
+
+    def __init__(self, message: str, diagnostics=(), **kw):
+        super().__init__(message, **kw)
+        self.diagnostics = list(diagnostics)
 
 
 class SimulationError(ReproError):

@@ -16,7 +16,7 @@ attributes filled in by :mod:`repro.verilog.width`:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 
 # ---------------------------------------------------------------------------
@@ -225,13 +225,20 @@ class Range:
 
 @dataclass
 class NetDecl:
-    """Declaration of a wire/reg, optionally a memory (``array`` set)."""
+    """Declaration of a wire/reg, optionally a memory (``array`` set).
+
+    ``line``/``col`` locate the declared name in the source (0 = unknown);
+    they flow into :class:`repro.elaborate.elaborator.Signal` so that
+    elaboration errors and lint diagnostics can point at the declaration.
+    """
 
     name: str
     kind: str  # 'wire' | 'reg'
     rng: Optional[Range] = None  # None -> 1 bit
     array: Optional[Range] = None  # memory depth range, e.g. [0:255]
     signed: bool = False
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -240,6 +247,8 @@ class PortDecl:
     direction: str  # 'input' | 'output'
     kind: str = "wire"  # 'wire' | 'reg'
     rng: Optional[Range] = None
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -317,6 +326,8 @@ class Instance:
     connections: Dict[str, Optional[Expr]]
     param_overrides: Dict[str, Expr] = field(default_factory=dict)
     by_order: Optional[List[Expr]] = None  # positional connections, if used
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -373,9 +384,14 @@ class Module:
 
 @dataclass
 class SourceUnit:
-    """A parsed collection of modules (one or more source files)."""
+    """A parsed collection of modules (one or more source files).
+
+    ``filename`` is the label diagnostics use for locations in this unit
+    (a real path, or ``<input>`` for in-memory source).
+    """
 
     modules: List[Module]
+    filename: str = field(default="<input>", compare=False)
 
     def module(self, name: str) -> Module:
         for m in self.modules:

@@ -78,6 +78,13 @@ class Parser:
         self.next()
         return t.text
 
+    def expect_ident_tok(self) -> Token:
+        """Like :meth:`expect_ident` but returns the whole token, for
+        declaration sites that record ``line``/``col``."""
+        t = self.peek()
+        self.expect_ident()
+        return t
+
     def error(self, msg: str) -> VerilogSyntaxError:
         t = self.peek()
         return VerilogSyntaxError(msg, self.filename, t.line, t.col)
@@ -105,7 +112,7 @@ class Parser:
                 modules.append(self.parse_module())
             else:
                 raise self.error(f"expected 'module', found {self.peek().text!r}")
-        return A.SourceUnit(modules)
+        return A.SourceUnit(modules, filename=self.filename)
 
     def parse_module(self) -> A.Module:
         self.expect("module")
@@ -153,10 +160,14 @@ class Parser:
                 self.accept("wire")
                 self._reject_signed()
                 rng = self.parse_opt_range()
-            pname = self.expect_ident()
+            ptok = self.expect_ident_tok()
+            pname = ptok.text
             order.append(pname)
             if direction is not None:
-                items.append(A.PortDecl(pname, direction, kind, rng))
+                items.append(
+                    A.PortDecl(pname, direction, kind, rng,
+                               line=ptok.line, col=ptok.col)
+                )
             if not self.accept(","):
                 break
         return order, items
@@ -220,7 +231,9 @@ class Parser:
         rng = self.parse_opt_range()
         out: List[A.ModuleItem] = []
         while True:
-            out.append(A.PortDecl(self.expect_ident(), direction, kind, rng))
+            ptok = self.expect_ident_tok()
+            out.append(A.PortDecl(ptok.text, direction, kind, rng,
+                                  line=ptok.line, col=ptok.col))
             if not self.accept(","):
                 break
         self.expect(";")
@@ -236,18 +249,22 @@ class Parser:
             rng = self.parse_opt_range()
         out: List[A.ModuleItem] = []
         while True:
-            name = self.expect_ident()
+            ntok = self.expect_ident_tok()
+            name = ntok.text
             array = self.parse_opt_range()
             if self.accept("="):
                 if kind != "wire":
                     raise UnsupportedFeatureError(
-                        "reg initializers are not supported; use a reset"
+                        "reg initializers are not supported; use a reset",
+                        filename=self.filename, line=ntok.line, col=ntok.col,
                     )
                 rhs = self.parse_expr()
-                out.append(A.NetDecl(name, kind, rng, array))
+                out.append(A.NetDecl(name, kind, rng, array,
+                                     line=ntok.line, col=ntok.col))
                 out.append(A.ContinuousAssign(A.Ident(name), rhs))
             else:
-                out.append(A.NetDecl(name, kind, rng, array))
+                out.append(A.NetDecl(name, kind, rng, array,
+                                     line=ntok.line, col=ntok.col))
             if not self.accept(","):
                 break
         self.expect(";")
@@ -303,7 +320,8 @@ class Parser:
         return A.Always(events, body)
 
     def _parse_instance(self) -> A.Instance:
-        module = self.expect_ident()
+        mtok = self.expect_ident_tok()
+        module = mtok.text
         param_overrides: Dict[str, A.Expr] = {}
         if self.accept("#"):
             self.expect("(")
@@ -339,7 +357,8 @@ class Parser:
                     break
         self.expect(")")
         self.expect(";")
-        return A.Instance(module, name, connections, param_overrides, by_order)
+        return A.Instance(module, name, connections, param_overrides, by_order,
+                          line=mtok.line, col=mtok.col)
 
     # ---- statements ---------------------------------------------------------
 

@@ -17,7 +17,6 @@ evaluation.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 from repro.elaborate.constfold import eval_const
 from repro.elaborate.symexec import LoweredDesign
@@ -109,7 +108,8 @@ class WidthAnnotator:
             if msb < lsb or lsb < 0 or msb >= sig.width:
                 raise WidthError(
                     f"part select {e.base}[{msb + sig.lsb}:{lsb + sig.lsb}] out of "
-                    f"range for width {sig.width}"
+                    f"range for width {sig.width}",
+                    filename=self.design.filename, line=sig.line, col=sig.col,
                 )
             e._msb_i = msb  # type: ignore[attr-defined]
             e._lsb_i = lsb  # type: ignore[attr-defined]
@@ -120,7 +120,10 @@ class WidthAnnotator:
                 raise ElaborationError(f"unknown signal {e.base!r} in part select")
             w = eval_const(e.part_width)
             if w <= 0 or w > sig.width:
-                raise WidthError(f"indexed part width {w} out of range")
+                raise WidthError(
+                    f"indexed part width {w} out of range",
+                    filename=self.design.filename, line=sig.line, col=sig.col,
+                )
             e._width_i = w  # type: ignore[attr-defined]
             e._base_lsb_i = sig.lsb  # type: ignore[attr-defined]
             self.self_width(e.start)

@@ -106,6 +106,52 @@ class TestElaborationDiagnostics:
         assert "parallel memories" in msg
 
 
+class TestLocations:
+    """Post-parse diagnostics carry file:line:col, not just prose."""
+
+    def test_width_limit_locates_declaration(self):
+        msg = err("module m;\nwire [600:0] huge;\nendmodule")
+        assert ":2:" in msg
+
+    def test_unknown_module_locates_instance(self):
+        msg = err("module m;\n\n  ghost g0 ();\nendmodule")
+        assert ":3:" in msg
+
+    def test_duplicate_declaration_locates_second(self):
+        msg = err("module m;\nwire x;\nwire x;\nendmodule")
+        assert ":3:" in msg and "x" in msg
+
+    def test_part_select_out_of_range_locates_signal(self):
+        msg = err(
+            "module m(input wire [3:0] a, output wire [3:0] y);\n"
+            "assign y = a[7:4];\nendmodule"
+        )
+        assert ":1:" in msg and "a[7:4]" in msg
+
+    def test_memory_width_locates_declaration(self):
+        msg = err("module m;\nreg [79:0] big [0:3];\nendmodule")
+        assert ":2:" in msg
+
+    def test_custom_filename_in_message(self):
+        from repro.utils.errors import ReproError
+
+        with pytest.raises(ReproError) as ei:
+            RTLFlow.from_source(
+                "module m;\nwire [600:0] huge;\nendmodule", "m",
+                filename="board.v",
+            )
+        assert "board.v:2:" in str(ei.value)
+
+    def test_error_location_attributes(self):
+        from repro.utils.errors import ReproError
+
+        with pytest.raises(ReproError) as ei:
+            RTLFlow.from_source("module m;\nwire x;\nwire x;\nendmodule", "m")
+        exc = ei.value
+        assert exc.has_location and exc.line == 3
+        assert exc.message and not exc.message.startswith("<input>")
+
+
 class TestRuntimeDiagnostics:
     def test_unknown_input_named(self):
         flow = RTLFlow.from_source(
