@@ -359,7 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("simulate", help="run a batch simulation")
     add_design_args(p)
     add_stim_args(p)
-    p.add_argument("--executor", choices=["graph", "graph-fused", "stream"],
+    p.add_argument("--executor", choices=["graph", "graph-fused", "graph-conditional", "stream"],
                    default="graph")
     p.add_argument("--vcd", default=None, help="dump one lane's VCD here")
     p.add_argument("--vcd-lane", type=int, default=0)
@@ -384,7 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", "-n", type=int, default=64)
     p.add_argument("--cycles", "-c", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--executor", choices=["graph", "graph-fused", "stream"],
+    p.add_argument("--executor", choices=["graph", "graph-fused", "graph-conditional", "stream"],
                    default="graph")
     p.add_argument("--mcmc-iters", type=int, default=8,
                    help="MCMC partition-tuning iterations (0 disables)")

@@ -24,9 +24,10 @@ semantics match :func:`repro.baselines.reference.eval_expr` op for op
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+import numpy as np
 
 from repro.core.annotate import render_header
 from repro.core.indexmap import IndexMapper
@@ -320,6 +321,87 @@ class MemWriteBinding:
 
 
 @dataclass
+class TaskAccess:
+    """Offset-level read/write footprint of one macro task.
+
+    ``read_offsets``/``write_offsets`` are per-pool sorted offset arrays
+    (scattered signal slots); ``read_ranges`` are contiguous ``[lo, hi)``
+    pool ranges (whole memories — a dynamic ``mem[idx]`` read may touch
+    any word).  The conditional replay executor intersects these with
+    :class:`~repro.core.memory.DeviceArrays` write epochs to decide which
+    tasks a replay can skip.
+    """
+
+    tid: int
+    read_offsets: List[Tuple[int, np.ndarray]]
+    read_ranges: List[Tuple[int, int, int]]
+    write_offsets: List[Tuple[int, np.ndarray]]
+
+
+def compute_task_accesses(
+    taskgraph: TaskGraph, layout: MemoryLayout
+) -> Dict[int, TaskAccess]:
+    """Derive every task's offset-level footprint from the task graph.
+
+    Reads map a node's ``reads`` names to current-value slots (plus whole
+    memory ranges); writes map COMB targets to their live slots, SEQ
+    targets to their *shadow* slots (commit marks the current slot after
+    comparing), and MEMW nodes to their cond/addr/data scratch.  A
+    sequential node's clock is excluded from its reads — edge detection
+    belongs to the simulator, and counting the toggle would dirty every
+    sequential task twice per cycle.
+    """
+    graph = taskgraph.graph
+    out: Dict[int, TaskAccess] = {}
+    for task in taskgraph.tasks:
+        reads: Dict[int, set] = {}
+        ranges: List[Tuple[int, int, int]] = []
+        writes: Dict[int, set] = {}
+
+        def add(acc: Dict[int, set], pool: int, lo: int, limbs: int) -> None:
+            acc.setdefault(pool, set()).update(range(lo, lo + limbs))
+
+        for nid in task.nodes:
+            node = graph.nodes[nid]
+            for name in node.reads:
+                if node.clock is not None and name == node.clock:
+                    continue
+                if name in layout.mems:
+                    ms = layout.mems[name]
+                    ranges.append((ms.pool, ms.base, ms.base + ms.depth))
+                    continue
+                s = layout.slots.get(name)
+                if s is not None:
+                    add(reads, s.pool, s.offset, s.limbs)
+            if node.kind is NodeKind.MEMW:
+                sc = layout.scratch[node.nid]
+                for slot in (sc.cond, sc.addr, sc.data):
+                    add(writes, slot.pool, slot.offset, slot.limbs)
+            else:
+                s = layout.slot(node.target)
+                lo = (
+                    s.next_offset
+                    if node.kind is NodeKind.SEQ and s.next_offset is not None
+                    else s.offset
+                )
+                add(writes, s.pool, lo, s.limbs)
+
+        out[task.tid] = TaskAccess(
+            tid=task.tid,
+            read_offsets=[
+                (p, np.fromiter(sorted(offs), dtype=np.int64, count=len(offs)))
+                for p, offs in sorted(reads.items())
+            ],
+            read_ranges=sorted(set(ranges)),
+            write_offsets=[
+                (p, np.fromiter(sorted(offs), dtype=np.int64, count=len(offs)))
+                for p, offs in sorted(writes.items())
+            ],
+        )
+    return out
+
+
+@dataclass
 class CompiledModel:
     """A transpiled, compiled multi-stimulus simulator for one design."""
 
@@ -333,10 +415,19 @@ class CompiledModel:
     fused_seq: Dict[Tuple[str, str], Callable]
     mem_writes: List[MemWriteBinding]
     transpile_seconds: float = 0.0
+    _task_accesses: Optional[Dict[int, TaskAccess]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def design(self):
         return self.graph.design
+
+    def task_accesses(self) -> Dict[int, TaskAccess]:
+        """Per-task offset footprints (cached; layout is immutable)."""
+        if self._task_accesses is None:
+            self._task_accesses = compute_task_accesses(self.taskgraph, self.layout)
+        return self._task_accesses
 
     def comb_schedule(self) -> List[int]:
         return list(self.taskgraph.comb_topo)

@@ -211,6 +211,13 @@ class RTLFlow:
         target_weight: float = DEFAULT_TARGET_WEIGHT,
         strategy: str = "levelpack",
     ) -> BatchSimulator:
+        """Build a batch simulator for ``n`` stimulus.
+
+        ``executor`` picks the replay engine: ``"graph"`` (unconditional
+        CUDA-Graph-style replay, the default), ``"graph-fused"``,
+        ``"graph-conditional"`` (activity-aware dirty-set replay that
+        skips quiescent tasks — see docs/activity.md), or ``"stream"``.
+        """
         model = self.compile(
             target_weight=target_weight, strategy=strategy, use_mcmc=use_mcmc
         )

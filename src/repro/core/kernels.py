@@ -21,6 +21,11 @@ def mem_read(pool: np.ndarray, base: int, depth: int, n: int, lane: np.ndarray,
     ARRSEL code does.
     """
     idx = np.asarray(idx)
+    if depth <= 0:
+        # A zero-depth memory has no valid address.  Without this guard
+        # the uint64 clamp below computes depth - 1 == 2**64 - 1 and the
+        # "safe" index gathers far outside the memory's pool region.
+        return np.zeros(n, dtype=_U64)
     if idx.ndim == 0:  # constant address: a contiguous (coalesced) slice
         a = int(idx)
         if a >= depth:
@@ -42,18 +47,27 @@ def mem_commit(
     cond: np.ndarray,
     addr: np.ndarray,
     data: np.ndarray,
-) -> None:
+) -> int:
     """Apply one guarded memory write port across the batch.
 
     Out-of-range writes are dropped (two-state discard of X addresses).
-    Lanes never collide: the flat index embeds the lane id.
+    Lanes never collide: the flat index embeds the lane id.  Returns the
+    number of lanes whose write was applied (0 means the memory is
+    untouched — conditional replay uses this to keep epochs quiet).
     """
-    addr64 = addr.astype(_U64, copy=False)
+    addr64 = np.asarray(addr).astype(_U64, copy=False)
+    cond = np.asarray(cond)
     sel = (cond != 0) & (addr64 < _U64(depth))
     if not sel.any():
-        return
+        return 0
+    # Constant write values arrive as 0-d arrays; masking needs the
+    # batch shape.
+    data = np.asarray(data)
+    if data.ndim == 0:
+        data = np.broadcast_to(data, addr64.shape)
     flat = (_U64(base) + addr64[sel]) * _U64(n) + lane[sel]
     pool[flat] = data[sel]
+    return int(np.count_nonzero(sel))
 
 
 def select_lanes(cond, t, f):

@@ -213,9 +213,18 @@ class DeviceArrays:
     This object stands in for the GPU global memory of the paper; the
     generated kernels index it exactly as Listing 3 does
     (``var8[N*offset + tid]``).
+
+    With ``track_epochs=True`` every pool additionally carries one int64
+    *write epoch* per offset (not per element — the batch axis shares a
+    single epoch).  Host-side writes bump an offset's epoch only when the
+    stored values actually change, and :meth:`commit_registers` compares
+    shadow against current per offset before marking, so a quiescent
+    design leaves the epochs untouched.  The conditional replay executor
+    (:class:`repro.gpu.graphexec.ConditionalGraphExecutor`) reads the
+    epochs to decide which macro tasks can be skipped.
     """
 
-    def __init__(self, layout: MemoryLayout, n: int):
+    def __init__(self, layout: MemoryLayout, n: int, track_epochs: bool = False):
         if n <= 0:
             raise SimulationError(f"batch size must be positive, got {n}")
         self.layout = layout
@@ -226,6 +235,42 @@ class DeviceArrays:
         ]
         # LANE plays the role of the CUDA thread id within the batch.
         self.lane = np.arange(n, dtype=np.uint64)
+        self.track_epochs = track_epochs
+        # Monotone write-epoch counter; offset epochs start at 0 and
+        # executors start "never run" (-1), so everything is dirty once.
+        self.epoch = 0
+        self.write_epochs: Optional[List[np.ndarray]] = (
+            [np.zeros(max(1, size), dtype=np.int64) for size in layout.pool_sizes]
+            if track_epochs
+            else None
+        )
+
+    # -- write-epoch bookkeeping ---------------------------------------------
+
+    def bump_epoch(self) -> int:
+        """Advance and return the global write epoch."""
+        self.epoch += 1
+        return self.epoch
+
+    def mark_written(
+        self, pool: int, lo: int, hi: Optional[int] = None,
+        epoch: Optional[int] = None,
+    ) -> None:
+        """Record that offsets ``[lo, hi)`` of ``pool`` were (re)written."""
+        if not self.track_epochs:
+            return
+        e = self.bump_epoch() if epoch is None else epoch
+        assert self.write_epochs is not None
+        self.write_epochs[pool][lo : (lo + 1 if hi is None else hi)] = e
+
+    def mark_all_written(self) -> None:
+        """Dirty every offset (checkpoint restore, bulk loads)."""
+        if not self.track_epochs:
+            return
+        e = self.bump_epoch()
+        assert self.write_epochs is not None
+        for ep in self.write_epochs:
+            ep[:] = e
 
     # -- scalar-signal access (host side; used by tests and set_inputs) -------
 
@@ -266,18 +311,31 @@ class DeviceArrays:
             block = self.pools[3][
                 s.offset * self.n : (s.offset + s.limbs) * self.n
             ].reshape(s.limbs, self.n)
-            block[:] = wv.from_ints(ints, s.limbs)
+            new = wv.from_ints(ints, s.limbs)
+            if self.track_epochs and np.array_equal(block, new):
+                return  # unchanged write: keep the epochs quiet
+            block[:] = new
+            self.mark_written(3, s.offset, s.offset + s.limbs)
             return
         arr = np.asarray(values)
         view = self.pools[s.pool][s.offset * self.n : (s.offset + 1) * self.n]
         if arr.ndim == 0:
-            view[:] = int(arr) & m
+            val = int(arr) & m
+            if self.track_epochs and bool((view == view.dtype.type(val)).all()):
+                return
+            view[:] = val
         else:
             if arr.shape[0] != self.n:
                 raise SimulationError(
                     f"expected {self.n} lane values for {name!r}, got {arr.shape[0]}"
                 )
-            view[:] = np.asarray(arr, dtype=np.uint64) & np.uint64(m)
+            new = (np.asarray(arr, dtype=np.uint64) & np.uint64(m)).astype(
+                view.dtype, copy=False
+            )
+            if self.track_epochs and np.array_equal(view, new):
+                return
+            view[:] = new
+        self.mark_written(s.pool, s.offset)
 
     # -- memory access ----------------------------------------------------------
 
@@ -316,6 +374,7 @@ class DeviceArrays:
                     f"bad memory image shape {arr.shape} for {name!r}"
                 )
             block[: arr.shape[0], :] = arr
+        self.mark_written(m.pool, m.base, m.base + m.depth)
 
     # -- register commit -----------------------------------------------------
 
@@ -328,17 +387,35 @@ class DeviceArrays:
         """
         n = self.n
         if domain is None:
-            for pool, r in zip(self.pools, self.layout.reg_counts):
+            for pool_idx, (pool, r) in enumerate(
+                zip(self.pools, self.layout.reg_counts)
+            ):
                 if r:
-                    np.copyto(pool[: r * n], pool[r * n : 2 * r * n])
+                    self._commit_range(pool_idx, pool, 0, r, r)
             return
         for pool_idx, start, count in self.layout.reg_ranges.get(domain, ()):
             r = self.layout.reg_counts[pool_idx]
-            pool = self.pools[pool_idx]
-            np.copyto(
-                pool[start * n : (start + count) * n],
-                pool[(r + start) * n : (r + start + count) * n],
-            )
+            self._commit_range(pool_idx, self.pools[pool_idx], start, count, r)
+
+    def _commit_range(
+        self, pool_idx: int, pool: np.ndarray, start: int, count: int, r: int
+    ) -> None:
+        """Copy shadows ``[r+start, r+start+count)`` over currents, marking
+        the offsets whose batch values actually changed."""
+        n = self.n
+        cur = pool[start * n : (start + count) * n]
+        nxt = pool[(r + start) * n : (r + start + count) * n]
+        if self.track_epochs:
+            changed = np.nonzero(
+                (cur.reshape(count, n) != nxt.reshape(count, n)).any(axis=1)
+            )[0]
+            if changed.size:
+                e = self.bump_epoch()
+                assert self.write_epochs is not None
+                self.write_epochs[pool_idx][start + changed] = e
+            else:
+                return  # nothing changed: skip the copy too
+        np.copyto(cur, nxt)
 
     def snapshot(self) -> List[np.ndarray]:
         return [p.copy() for p in self.pools]
@@ -346,3 +423,4 @@ class DeviceArrays:
     def restore(self, snap: List[np.ndarray]) -> None:
         for dst, src in zip(self.pools, snap):
             np.copyto(dst, src)
+        self.mark_all_written()

@@ -19,7 +19,7 @@ from repro.core import kernels as rt
 from repro.core.codegen import CompiledModel
 from repro.core.memory import DeviceArrays
 from repro.gpu.device import SimulatedDevice
-from repro.gpu.graphexec import CudaGraphExecutor
+from repro.gpu.graphexec import ConditionalGraphExecutor, CudaGraphExecutor
 from repro.gpu.stream import StreamExecutor
 from repro.obs import get_metrics, get_tracer
 from repro.obs.metrics import MetricsRegistry
@@ -36,11 +36,21 @@ def make_executor(
     kind: str = "graph",
     **kwargs,
 ):
-    """Executor factory: 'graph' (default), 'graph-fused', or 'stream'."""
+    """Executor factory: 'graph' (default), 'graph-fused', 'graph-conditional',
+    or 'stream'.
+
+    'graph-conditional' is the activity-aware engine: it replays only the
+    macro tasks whose inputs changed since their last execution (see
+    :class:`~repro.gpu.graphexec.ConditionalGraphExecutor` and
+    docs/activity.md), trading a small per-replay dirty-set check for
+    skipping quiescent logic entirely.
+    """
     if kind == "graph":
         return CudaGraphExecutor(model, device, fused=False)
     if kind in ("graph-fused", "fused"):
         return CudaGraphExecutor(model, device, fused=True)
+    if kind in ("graph-conditional", "conditional"):
+        return ConditionalGraphExecutor(model, device, **kwargs)
     if kind == "stream":
         return StreamExecutor(model, device, **kwargs)
     raise SimulationError(f"unknown executor kind {kind!r}")
@@ -83,7 +93,12 @@ class BatchSimulator:
             if isinstance(executor, str)
             else executor
         )
-        self.arrays = DeviceArrays(model.layout, n)
+        # Conditional executors need per-offset write epochs to compute
+        # their dirty sets; plain executors skip the bookkeeping cost.
+        self.arrays = DeviceArrays(
+            model.layout, n,
+            track_epochs=bool(getattr(self.executor, "wants_epochs", False)),
+        )
         design = model.design
         self._input_names = {s.name for s in design.inputs}
         self._widths = {s.name: s.width for s in design.signals.values()}
@@ -179,10 +194,16 @@ class BatchSimulator:
             cond = pools[b.cond_pool][b.cond_off * n : (b.cond_off + 1) * n]
             addr = pools[b.addr_pool][b.addr_off * n : (b.addr_off + 1) * n]
             data = pools[b.data_pool][b.data_off * n : (b.data_off + 1) * n]
-            rt.mem_commit(
+            applied = rt.mem_commit(
                 pools[b.mem_pool], b.mem_base, b.mem_depth, n, arrays.lane,
                 cond, addr, data,
             )
+            if applied and arrays.track_epochs:
+                # Readers treat the whole memory as one footprint (a
+                # dynamic mem[idx] may touch any word), so mark the range.
+                arrays.mark_written(
+                    b.mem_pool, b.mem_base, b.mem_base + b.mem_depth
+                )
 
     # -- checkpointing ------------------------------------------------------------
 

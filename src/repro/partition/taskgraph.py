@@ -93,6 +93,26 @@ class TaskGraph:
 
     # -- introspection ---------------------------------------------------------
 
+    def task_reads(self, tid: int) -> Set[str]:
+        """Signal/memory names task ``tid`` reads (its activity trigger set).
+
+        A SEQ/MEMW task's clock is *not* a read: edge detection is the
+        simulator's job, and including it would mark every sequential
+        task dirty on each toggle, defeating conditional replay.
+        """
+        task = self.tasks[tid]
+        out: Set[str] = set()
+        for nid in task.nodes:
+            node = self.graph.nodes[nid]
+            out.update(node.reads)
+            if node.clock is not None:
+                out.discard(node.clock)
+        return out
+
+    def task_writes(self, tid: int) -> Set[str]:
+        """Signal/memory names task ``tid`` drives."""
+        return {self.graph.nodes[nid].target for nid in self.tasks[tid].nodes}
+
     @property
     def n_comb_tasks(self) -> int:
         return len(self.comb_topo)

@@ -60,7 +60,13 @@ class PipelineReport:
 
 
 class PipelineSimulator:
-    """Multi-group batch simulation with optional CPU/GPU pipelining."""
+    """Multi-group batch simulation with optional CPU/GPU pipelining.
+
+    ``executor`` selects each group's replay engine (same choices as
+    :func:`repro.core.simulator.make_executor`, including the
+    activity-aware ``"graph-conditional"``); each group gets its own
+    executor instance so dirty-set state never crosses group boundaries.
+    """
 
     def __init__(
         self,
@@ -188,11 +194,20 @@ class PipelineSimulator:
 
     def _run_pipelined(self, stim, total: int, acc: List[float]) -> None:
         cpu_slots = threading.Semaphore(self.cpu_workers)
+        # First failure wins: the stop event cancels the sibling chains at
+        # their next cycle boundary instead of letting them simulate the
+        # whole stimulus, and the lock keeps the error list coherent
+        # (list.append is atomic today, but the ordering between append
+        # and stop.set() is what the raise below relies on).
+        stop = threading.Event()
+        err_lock = threading.Lock()
         errors: List[BaseException] = []
 
         def group_chain(g: int) -> None:
             try:
                 for c in range(total):
+                    if stop.is_set():
+                        return
                     if c < len(stim):
                         with cpu_slots:
                             self._set_inputs_group(g, stim, c, acc)
@@ -200,7 +215,9 @@ class PipelineSimulator:
                     # accepting work from whichever group is ready first.
                     self._evaluate_group(g, c)
             except BaseException as exc:  # noqa: BLE001 - propagate to caller
-                errors.append(exc)
+                with err_lock:
+                    errors.append(exc)
+                stop.set()
 
         threads = [
             threading.Thread(target=group_chain, args=(g,), name=f"group{g}")

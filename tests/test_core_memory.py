@@ -168,3 +168,93 @@ class TestMemoryImages:
     def test_image_masked_to_width(self, arrays):
         arrays.load_memory("mem", [0x3FF])
         assert arrays.read_memory("mem", lane=0)[0] == 0xFF
+
+
+class TestKernelRuntimeRegressions:
+    """Hot-path bugfixes in repro.core.kernels, pinned."""
+
+    def test_mem_read_zero_depth_returns_zero(self):
+        """depth == 0 used to compute np.minimum(idx, uint64(-1)) — an
+        all-ones clamp that gathered out of bounds instead of returning 0."""
+        from repro.core import kernels as rt
+
+        n = 4
+        pool = np.arange(64, dtype=np.uint64)
+        lane = np.arange(n, dtype=np.uint64)
+        idx = np.array([0, 1, 2, 3], dtype=np.uint64)
+        out = rt.mem_read(pool, base=0, depth=0, n=n, lane=lane, idx=idx)
+        assert np.array_equal(out, np.zeros(n, dtype=np.uint64))
+        # Constant-address path too.
+        out = rt.mem_read(pool, base=0, depth=0, n=n, lane=lane,
+                          idx=np.uint64(1))
+        assert np.array_equal(out, np.zeros(n, dtype=np.uint64))
+
+    def test_mem_read_out_of_range_lanes_read_zero(self):
+        from repro.core import kernels as rt
+
+        n = 2
+        depth = 3
+        pool = (np.arange(depth * n, dtype=np.uint64) + 10)
+        lane = np.arange(n, dtype=np.uint64)
+        idx = np.array([1, 9], dtype=np.uint64)  # lane 1 out of range
+        out = rt.mem_read(pool, base=0, depth=depth, n=n, lane=lane, idx=idx)
+        assert out[0] == pool[1 * n + 0]
+        assert out[1] == 0
+
+    def test_mem_commit_scalar_data_broadcasts(self):
+        """0-d data (a constant write value) used to crash on data[sel]."""
+        from repro.core import kernels as rt
+
+        n = 4
+        depth = 4
+        pool = np.zeros(depth * n, dtype=np.uint64)
+        lane = np.arange(n, dtype=np.uint64)
+        cond = np.array([1, 0, 1, 1], dtype=np.uint8)
+        addr = np.array([0, 1, 2, 9], dtype=np.uint64)  # lane 3 dropped
+        applied = rt.mem_commit(
+            pool, 0, depth, n, lane, cond, addr, np.uint64(42)
+        )
+        assert applied == 2
+        assert pool[0 * n + 0] == 42      # lane 0 -> mem[0]
+        assert pool[2 * n + 2] == 42      # lane 2 -> mem[2]
+        assert pool[1 * n + 1] == 0       # cond off
+        assert int(pool.sum()) == 84      # nothing else touched
+
+    def test_mem_commit_returns_applied_count(self):
+        from repro.core import kernels as rt
+
+        n = 3
+        pool = np.zeros(2 * n, dtype=np.uint64)
+        lane = np.arange(n, dtype=np.uint64)
+        zero = rt.mem_commit(
+            pool, 0, 2, n, lane,
+            np.zeros(n, dtype=np.uint8),
+            np.zeros(n, dtype=np.uint64),
+            np.ones(n, dtype=np.uint64),
+        )
+        assert zero == 0
+        assert not pool.any()
+
+
+CONST_WRITE_V = """
+module constwrite (
+    input wire clk,
+    input wire we,
+    input wire [3:0] waddr,
+    input wire [3:0] raddr,
+    output wire [7:0] rdata
+);
+    reg [7:0] mem [0:15];
+    always @(posedge clk) begin
+        if (we) mem[waddr] <= 8'd42;
+    end
+    assign rdata = mem[raddr];
+endmodule
+"""
+
+
+def test_constant_memory_write_matches_reference():
+    """Differential check for the scalar-data commit path end to end."""
+    from tests.helpers import assert_batch_matches_reference
+
+    assert_batch_matches_reference(CONST_WRITE_V, "constwrite", n=8, cycles=30)

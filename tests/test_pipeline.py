@@ -115,3 +115,50 @@ class TestOverlap:
         # deterministic check lives in test_virtualtime.py.  Here we only
         # require that pipelining does not crater utilization.
         assert best(True) >= best(False) * 0.7
+
+
+class TestErrorPropagation:
+    """A failing group chain must stop the siblings, not just itself."""
+
+    class _FailingStim:
+        """Raises for group 0 after a few cycles; counts sibling progress."""
+
+        def __init__(self, inner, fail_cycle, group_size):
+            self.inner = inner
+            self.fail_cycle = fail_cycle
+            self.group_size = group_size
+            self.calls = []
+
+        def __len__(self):
+            return len(self.inner)
+
+        def inputs_at_range(self, cycle, lo, hi):
+            self.calls.append((cycle, lo))
+            if lo == 0 and cycle >= self.fail_cycle:
+                raise RuntimeError("corrupt stimulus chunk")
+            return self.inner.inputs_at_range(cycle, lo, hi)
+
+    def test_error_propagates_and_stops_siblings(self, counter_model):
+        n, cycles, groups = 16, 400, 4
+        stim = _counter_stim(counter_model.design, n, cycles, seed=11)
+        failing = self._FailingStim(stim, fail_cycle=3, group_size=n // groups)
+        pipe = PipelineSimulator(
+            counter_model, n, groups=groups, cpu_workers=2, pipeline=True
+        )
+        with pytest.raises(RuntimeError, match="corrupt stimulus chunk"):
+            pipe.run(failing, cycles=cycles)
+        # The stop event cancels sibling chains at their next cycle
+        # boundary: without it each of the other 3 groups would run all
+        # 400 cycles after group 0 died at cycle 3.
+        total_calls = len(failing.calls)
+        assert total_calls < groups * cycles
+
+    def test_sequential_mode_still_propagates(self, counter_model):
+        n, cycles = 8, 20
+        stim = _counter_stim(counter_model.design, n, cycles, seed=12)
+        failing = self._FailingStim(stim, fail_cycle=2, group_size=n // 2)
+        pipe = PipelineSimulator(
+            counter_model, n, groups=2, cpu_workers=1, pipeline=False
+        )
+        with pytest.raises(RuntimeError, match="corrupt stimulus chunk"):
+            pipe.run(failing, cycles=cycles)
