@@ -28,6 +28,7 @@ import numpy as np
 import pytest
 
 from benchmarks.common import load_design
+from repro.resilience import atomic_write_json
 from repro.baselines.essent import EssentSim
 from repro.baselines.verilator import VerilatorSim
 from repro.baselines.scalargen import generate_scalar_model
@@ -200,9 +201,8 @@ def run_activity_sweep(
 
 
 def write_report(payload, path: str) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    # Atomic: an interrupted sweep never truncates a previous report.
+    atomic_write_json(path, payload)
 
 
 def main(argv=None) -> int:

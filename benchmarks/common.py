@@ -16,7 +16,6 @@ measured, never modeled.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from dataclasses import dataclass, field
@@ -32,6 +31,7 @@ from repro.core.simulator import BatchSimulator
 from repro.designs import DesignBundle, get_design
 from repro.gpu.device import SimulatedDevice
 from repro.pipeline.scheduler import PipelineSimulator
+from repro.resilience import atomic_write_json, atomic_write_text
 from repro.stimulus.batch import StimulusBatch, TextStimulusBatch
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -259,16 +259,14 @@ def modeled_cpu_batch_seconds(
 
 
 def save_result(name: str, payload: Dict) -> str:
+    """Atomic write (temp + fsync + rename): a crash mid-run never leaves
+    a truncated result file clobbering a previous good one."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, default=str)
-    return path
+    return atomic_write_json(path, payload, default=str)
 
 
 def save_text(name: str, text: str) -> str:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(text + "\n")
-    return path
+    return atomic_write_text(path, text + "\n")

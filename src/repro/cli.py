@@ -10,6 +10,10 @@ transpile  Emit the generated batch-kernel module (and optionally the
            Verilator-style scalar module) to files.
 simulate   Run a batch simulation from stimulus files (or random stimulus)
            and print final outputs / write a VCD for one lane.
+run        Run a bundled design under the resilience harness: per-lane
+           fault isolation, durable checkpoint/resume
+           (``--checkpoint-dir``/``--resume``), and deterministic fault
+           injection (``--inject-lane-fault``, ``--inject-checkpoint-failure``).
 coverage   Run random stimulus and report toggle coverage.
 profile    Run a bundled design under full telemetry and export a
            Chrome-trace JSON (loads in ui.perfetto.dev) plus a metrics
@@ -281,6 +285,113 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_run(args) -> int:
+    """Run a bundled design with the resilience harness: lane fault
+    isolation, durable periodic checkpoints, resume, fault injection."""
+    from repro import resilience as rz
+    from repro.core.simulator import BatchSimulator
+    from repro.designs import get_design
+    from repro.pipeline.scheduler import PipelineSimulator
+
+    bundle = get_design(args.design)
+    flow = RTLFlow.from_source(bundle.source, bundle.top)
+    model = flow.compile()
+
+    plan = None
+    if args.inject_lane_fault or args.inject_checkpoint_failure:
+        try:
+            plan = rz.FaultPlan(
+                lane_faults=[rz.parse_lane_fault(s)
+                             for s in args.inject_lane_fault],
+                checkpoint_failures=set(args.inject_checkpoint_failure),
+            )
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+    isolation = args.fault_isolation or bool(args.inject_lane_fault)
+
+    mgr = None
+    if args.checkpoint_dir:
+        policy = None
+        if args.checkpoint_every or args.checkpoint_every_seconds:
+            policy = rz.CheckpointPolicy(
+                every_cycles=args.checkpoint_every or None,
+                every_seconds=args.checkpoint_every_seconds or None,
+            )
+        mgr = rz.CheckpointManager(
+            args.checkpoint_dir, policy=policy, keep=args.keep_checkpoints,
+            fault_plan=plan,
+        )
+    elif args.resume:
+        raise ReproError("--resume requires --checkpoint-dir")
+
+    if args.groups > 1:
+        sim = PipelineSimulator(
+            model, args.batch, groups=args.groups, executor=args.executor,
+            fault_isolation=isolation,
+        )
+    else:
+        sim = BatchSimulator(model, args.batch, executor=args.executor,
+                             fault_isolation=isolation)
+    bundle.preload(sim)
+
+    start = 0
+    if args.resume and mgr is not None:
+        ckpt = mgr.load_latest()
+        if ckpt is None:
+            print(f"no checkpoint in {args.checkpoint_dir}; "
+                  f"starting from cycle 0")
+        else:
+            sim.restore_checkpoint(ckpt)
+            start = sim.cycles_run
+            print(f"resumed from checkpoint at cycle {start}")
+
+    stim = bundle.make_stimulus(args.batch, args.cycles, args.seed)
+    outs = sim.run(stim, watch=bundle.watch, checkpoint=mgr,
+                   fault_plan=plan, start_cycle=start)
+    if mgr is not None:
+        # A final snapshot so a later --resume skips the finished work
+        # (best-effort: a failed write degrades like any periodic one).
+        mgr.save(sim, required=False)
+
+    rows = []
+    for name, values in outs.items():
+        preview = " ".join(format(int(v), "x") for v in values[:8])
+        more = " ..." if args.batch > 8 else ""
+        rows.append([name, f"{preview}{more}"])
+    print(format_table(
+        ["output", "final values (hex, first lanes)"], rows,
+        title=f"{args.design}: {args.batch} stimulus x {args.cycles} cycles "
+              f"(executor={args.executor}"
+              + (f", groups={args.groups}" if args.groups > 1 else "") + ")",
+    ))
+    if mgr is not None:
+        print(f"checkpoints: {mgr.writes} written, "
+              f"{mgr.write_failures} failed, latest {mgr.latest_path()}")
+
+    if isinstance(sim, PipelineSimulator):
+        report = sim.fault_report() if isolation else None
+    else:
+        report = sim.quarantine.report() if sim.quarantine is not None else None
+    if report is not None:
+        faulted = len(report["faulted_lanes"])
+        if faulted:
+            print(f"quarantined {faulted}/{report['n']} lanes:")
+            for f in report["faults"][:20]:
+                print(f"  lane {f['lane']} @ cycle {f['cycle']}: "
+                      f"{f['reason']}")
+        else:
+            print(f"all {report['n']} lanes healthy")
+        if args.fault_report:
+            payload = dict(report)
+            payload["design"] = args.design
+            payload["fault_plan"] = plan.to_dict() if plan else None
+            rz.atomic_write_json(args.fault_report, payload)
+            print(f"wrote {args.fault_report}")
+        if faulted >= report["n"]:
+            return 1  # every lane died: nothing useful survived
+    return 0
+
+
 def cmd_designs(args) -> int:
     from repro.designs import get_design, list_designs
 
@@ -397,6 +508,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-json", default=None, metavar="PATH",
                    help="metrics output path (default <design>.metrics.json)")
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "run",
+        help="run a bundled design with fault isolation, durable "
+             "checkpoints/resume, and deterministic fault injection",
+    )
+    p.add_argument("design", help="bundled design name (see `repro designs`)")
+    p.add_argument("--batch", "-n", type=int, default=64)
+    p.add_argument("--cycles", "-c", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--executor", choices=["graph", "graph-fused", "graph-conditional", "stream"],
+                   default="graph")
+    p.add_argument("--groups", type=int, default=1,
+                   help="run through the pipeline scheduler with this many "
+                        "stimulus groups (default: single simulator)")
+    p.add_argument("--fault-isolation", action="store_true",
+                   help="quarantine poisoned lanes instead of aborting "
+                        "(implied by --inject-lane-fault)")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="directory for durable checkpoints (atomic "
+                        "temp+fsync+rename snapshots)")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="K",
+                   help="snapshot every K cycles")
+    p.add_argument("--checkpoint-every-seconds", type=float, default=0.0,
+                   metavar="T", help="snapshot every T seconds")
+    p.add_argument("--keep-checkpoints", type=int, default=2,
+                   help="retain this many newest snapshots (default 2)")
+    p.add_argument("--resume", action="store_true",
+                   help="restore the newest checkpoint in --checkpoint-dir "
+                        "and continue from it")
+    p.add_argument("--inject-lane-fault", action="append", default=[],
+                   metavar="CYCLE:LANE[:REASON]",
+                   help="deterministically quarantine LANE at CYCLE "
+                        "(repeatable)")
+    p.add_argument("--inject-checkpoint-failure", action="append", type=int,
+                   default=[], metavar="IDX",
+                   help="make the IDX-th checkpoint write fail (repeatable)")
+    p.add_argument("--fault-report", default=None, metavar="PATH",
+                   help="write the structured lane-fault report JSON here")
+    add_telemetry_args(p)
+    p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("designs", help="list bundled designs")
     p.set_defaults(fn=cmd_designs)

@@ -272,6 +272,43 @@ class DeviceArrays:
         for ep in self.write_epochs:
             ep[:] = e
 
+    def epoch_state(self) -> Optional[dict]:
+        """Snapshot of the write-epoch bookkeeping (None when untracked).
+
+        Rides inside simulator checkpoints so a resumed run restores the
+        exact activity state instead of a conservatively-all-dirty one.
+        """
+        if not self.track_epochs:
+            return None
+        assert self.write_epochs is not None
+        return {
+            "epoch": self.epoch,
+            "write_epochs": [ep.copy() for ep in self.write_epochs],
+        }
+
+    def restore_epochs(self, state: dict) -> None:
+        """Restore epoch bookkeeping saved by :meth:`epoch_state`.
+
+        Only valid right after :meth:`restore` of the matching pools, and
+        the caller must also invalidate executor last-run epochs (see
+        ``ConditionalGraphExecutor.reset_activity``): the restored epochs
+        rewind time, so any cached "ran at epoch E" from beyond the
+        checkpoint would wrongly mark tasks clean.
+        """
+        if not self.track_epochs:
+            return
+        assert self.write_epochs is not None
+        saved = state["write_epochs"]
+        if len(saved) != len(self.write_epochs) or any(
+            s.shape != d.shape for s, d in zip(saved, self.write_epochs)
+        ):
+            raise SimulationError(
+                "epoch state does not match this layout's pool shapes"
+            )
+        self.epoch = int(state["epoch"])
+        for dst, src in zip(self.write_epochs, saved):
+            np.copyto(dst, src)
+
     # -- scalar-signal access (host side; used by tests and set_inputs) -------
 
     def read(self, name: str) -> np.ndarray:
@@ -378,12 +415,20 @@ class DeviceArrays:
 
     # -- register commit -----------------------------------------------------
 
-    def commit_registers(self, domain: Optional[Tuple[str, str]] = None) -> None:
+    def commit_registers(
+        self,
+        domain: Optional[Tuple[str, str]] = None,
+        active: Optional[np.ndarray] = None,
+    ) -> None:
         """Copy register shadow (next) values over current values.
 
         With ``domain`` given, only that clock domain's registers commit —
         one contiguous slice copy per (domain, pool) range.  Without it,
         all registers commit (single-clock convenience).
+
+        ``active`` is an optional boolean (N,) lane mask: False lanes are
+        excluded from the copy, freezing their register state (the lane
+        quarantine of :mod:`repro.resilience.faults`).
         """
         n = self.n
         if domain is None:
@@ -391,14 +436,17 @@ class DeviceArrays:
                 zip(self.pools, self.layout.reg_counts)
             ):
                 if r:
-                    self._commit_range(pool_idx, pool, 0, r, r)
+                    self._commit_range(pool_idx, pool, 0, r, r, active)
             return
         for pool_idx, start, count in self.layout.reg_ranges.get(domain, ()):
             r = self.layout.reg_counts[pool_idx]
-            self._commit_range(pool_idx, self.pools[pool_idx], start, count, r)
+            self._commit_range(
+                pool_idx, self.pools[pool_idx], start, count, r, active
+            )
 
     def _commit_range(
-        self, pool_idx: int, pool: np.ndarray, start: int, count: int, r: int
+        self, pool_idx: int, pool: np.ndarray, start: int, count: int, r: int,
+        active: Optional[np.ndarray] = None,
     ) -> None:
         """Copy shadows ``[r+start, r+start+count)`` over currents, marking
         the offsets whose batch values actually changed."""
@@ -406,16 +454,26 @@ class DeviceArrays:
         cur = pool[start * n : (start + count) * n]
         nxt = pool[(r + start) * n : (r + start + count) * n]
         if self.track_epochs:
-            changed = np.nonzero(
-                (cur.reshape(count, n) != nxt.reshape(count, n)).any(axis=1)
-            )[0]
+            diff = cur.reshape(count, n) != nxt.reshape(count, n)
+            if active is not None:
+                # Quarantined lanes never commit, so their pending diffs
+                # must not dirty the offsets (or tasks would re-run for
+                # state that is frozen by design).
+                diff = diff & active[None, :]
+            changed = np.nonzero(diff.any(axis=1))[0]
             if changed.size:
                 e = self.bump_epoch()
                 assert self.write_epochs is not None
                 self.write_epochs[pool_idx][start + changed] = e
             else:
                 return  # nothing changed: skip the copy too
-        np.copyto(cur, nxt)
+        if active is None:
+            np.copyto(cur, nxt)
+        else:
+            np.copyto(
+                cur.reshape(count, n), nxt.reshape(count, n),
+                where=active[None, :],
+            )
 
     def snapshot(self) -> List[np.ndarray]:
         return [p.copy() for p in self.pools]

@@ -24,6 +24,14 @@ from repro.gpu.stream import StreamExecutor
 from repro.obs import get_metrics, get_tracer
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
+from repro.resilience.faults import (
+    REASON_DIV_ZERO,
+    REASON_MEM_OOB,
+    REASON_STIMULUS,
+    LaneQuarantine,
+    LaneStimulusError,
+)
+from repro.utils import bitvec as bv
 from repro.utils.errors import SimulationError
 from repro.utils.timing import Stopwatch
 
@@ -82,6 +90,7 @@ class BatchSimulator:
         clock: Optional[str] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        fault_isolation: bool = False,
     ):
         self.model = model
         self.n = n
@@ -102,11 +111,22 @@ class BatchSimulator:
         design = model.design
         self._input_names = {s.name for s in design.inputs}
         self._widths = {s.name: s.width for s in design.signals.values()}
+        # (pool, base) -> memory name, for attributing OOB-write faults.
+        self._mem_names = {
+            (m.pool, m.base): name for name, m in model.layout.mems.items()
+        }
         clocks = design.clocks()
         self.clock = clock if clock is not None else (clocks[0] if clocks else None)
         self._prev_clock: Dict[str, int] = {c: 0 for c in clocks}
         self.stopwatch = Stopwatch()
         self.cycles_run = 0
+        # Lane fault isolation (see repro.resilience.faults): when enabled
+        # a poisoned lane is quarantined — masked out of input application,
+        # register commits and memory commits — instead of aborting the
+        # batch.  Surviving lanes stay bit-identical to a fault-free run.
+        self.quarantine: Optional[LaneQuarantine] = (
+            LaneQuarantine(n) if fault_isolation else None
+        )
         if self.metrics.enabled:
             self.metrics.set_gauge("sim.batch_n", n)
             for bits, size, itemsize in zip(
@@ -124,7 +144,37 @@ class BatchSimulator:
     def set_input(self, name: str, values: ArrayLike) -> None:
         if name not in self._input_names:
             raise SimulationError(f"{name!r} is not an input of the design")
+        q = self.quarantine
+        if q is not None and not q.all_active and name not in self._prev_clock:
+            # Quarantined lanes keep their frozen inputs (clocks stay
+            # batch-uniform by contract, so they are never frozen).
+            values = self._freeze_masked(name, values)
         self.arrays.write(name, values)
+
+    def _freeze_masked(self, name: str, values: ArrayLike):
+        """Merge ``values`` with the current batch so inactive lanes keep
+        their last pre-fault input value."""
+        cur = self.arrays.read(name)
+        act = self.quarantine.active
+        if cur.dtype == object:  # wide signal: lanes are Python ints
+            if np.isscalar(values) or getattr(np.asarray(values), "ndim", 1) == 0:
+                vals = [values] * self.n
+            else:
+                vals = list(values)
+                if len(vals) != self.n:
+                    raise SimulationError(
+                        f"expected {self.n} lane values for {name!r}, "
+                        f"got {len(vals)}"
+                    )
+            return [v if a else int(c) for v, c, a in zip(vals, cur, act)]
+        arr = np.asarray(values)
+        if arr.ndim == 0:
+            arr = np.full(self.n, arr)
+        elif arr.shape[0] != self.n:
+            raise SimulationError(
+                f"expected {self.n} lane values for {name!r}, got {arr.shape[0]}"
+            )
+        return np.where(act, arr.astype(cur.dtype, copy=False), cur)
 
     def set_inputs(self, values: Mapping[str, ArrayLike]) -> None:
         for k, v in values.items():
@@ -177,9 +227,38 @@ class BatchSimulator:
                 out.append((clock, edge))
         return out
 
+    def _quarantine_lanes(
+        self, lanes, reason: str, task: Optional[str] = None, detail: str = "",
+    ) -> List[int]:
+        """Quarantine ``lanes`` (no-op for already-dead ones) and count."""
+        fresh = self.quarantine.quarantine(
+            lanes, cycle=self.cycles_run, reason=reason, task=task,
+            detail=detail,
+        )
+        if fresh and self.metrics.enabled:
+            self.metrics.inc("resilience.lane_faults", len(fresh))
+        return fresh
+
+    def _on_div_zero(self, zero: np.ndarray) -> None:
+        """bitvec div-fault sink: quarantine lanes that divided by zero."""
+        mask = np.atleast_1d(np.asarray(zero))
+        if mask.size == self.n:
+            lanes = np.nonzero(mask & self.quarantine.active)[0]
+        elif mask.size == 1 and bool(mask[0]):
+            lanes = self.quarantine.active_lanes()  # uniform zero divisor
+        else:
+            return  # not a batch-axis mask; cannot attribute to lanes
+        if lanes.size:
+            self._quarantine_lanes(
+                lanes, reason=REASON_DIV_ZERO,
+                detail="zero divisor (two-state sentinel result 0)",
+            )
+
     def _commit(self, domain: Tuple[str, str]) -> None:
         arrays = self.arrays
-        arrays.commit_registers(domain)
+        q = self.quarantine
+        active = None if q is None or q.all_active else q.active
+        arrays.commit_registers(domain, active)
         n = arrays.n
         if self.metrics.enabled:
             for pool_idx, _start, count in arrays.layout.reg_ranges.get(domain, ()):
@@ -194,6 +273,19 @@ class BatchSimulator:
             cond = pools[b.cond_pool][b.cond_off * n : (b.cond_off + 1) * n]
             addr = pools[b.addr_pool][b.addr_off * n : (b.addr_off + 1) * n]
             data = pools[b.data_pool][b.data_off * n : (b.data_off + 1) * n]
+            if q is not None:
+                # An enabled write beyond the memory depth poisons only
+                # its own lane: quarantine it, then mask the write enables
+                # so dead lanes never commit (here or in later cycles).
+                oob = (cond != 0) & (addr >= np.uint64(b.mem_depth))
+                if oob.any():
+                    self._quarantine_lanes(
+                        np.nonzero(oob)[0], reason=REASON_MEM_OOB,
+                        task=self._mem_names.get((b.mem_pool, b.mem_base)),
+                        detail=f"write address beyond depth {b.mem_depth}",
+                    )
+                if not q.all_active:
+                    cond = np.where(q.active, cond, cond.dtype.type(0))
             applied = rt.mem_commit(
                 pools[b.mem_pool], b.mem_base, b.mem_depth, n, arrays.lane,
                 cond, addr, data,
@@ -227,8 +319,11 @@ class BatchSimulator:
         The checkpoint is a plain dict of numpy arrays plus clock phase —
         picklable, so long regressions can be resumed across processes.
         A layout signature ties it to this design's memory layout.
+        Write-epoch bookkeeping and the lane-quarantine state ride along
+        (when present) so activity tracking and fault isolation resume
+        exactly where they left off.
         """
-        return {
+        ckpt = {
             "pools": self.arrays.snapshot(),
             "prev_clock": dict(self._prev_clock),
             "cycles_run": self.cycles_run,
@@ -238,6 +333,12 @@ class BatchSimulator:
                 "signature": self._layout_signature(),
             },
         }
+        epochs = self.arrays.epoch_state()
+        if epochs is not None:
+            ckpt["epochs"] = epochs
+        if self.quarantine is not None:
+            ckpt["quarantine"] = self.quarantine.state_dict()
+        return ckpt
 
     def restore_checkpoint(self, ckpt: dict) -> None:
         """Restore a checkpoint taken by :meth:`save_checkpoint`.
@@ -246,6 +347,11 @@ class BatchSimulator:
         design: same-``n`` checkpoints of another design would otherwise
         restore silently and corrupt the pools.
         """
+        if "group_checkpoints" in ckpt:
+            raise SimulationError(
+                "this is a pipeline checkpoint; restore it via "
+                "PipelineSimulator.restore_checkpoint"
+            )
         if ckpt.get("n") != self.n:
             raise SimulationError(
                 f"checkpoint is for batch size {ckpt.get('n')}, not {self.n}"
@@ -260,11 +366,44 @@ class BatchSimulator:
                     "(was it saved from a different design or partitioning?)"
                 )
         self.arrays.restore(ckpt["pools"])
+        epochs = ckpt.get("epochs")
+        if epochs is not None and self.arrays.track_epochs:
+            # restore() marked everything dirty; rewind to the exact saved
+            # epoch state so a resumed run's activity matches the original.
+            self.arrays.restore_epochs(epochs)
         self._prev_clock = dict(ckpt["prev_clock"])
         self.cycles_run = ckpt["cycles_run"]
+        qstate = ckpt.get("quarantine")
+        if qstate is not None:
+            self.quarantine = LaneQuarantine.from_state(qstate)
+        elif self.quarantine is not None:
+            # Checkpoint predates quarantine state: restore means "as of
+            # the snapshot", where no lane had faulted yet.
+            self.quarantine = LaneQuarantine(self.n)
+        # The executor's per-task last-run epochs refer to a timeline that
+        # the restore just rewound; forget them so every task is dirty
+        # once and the first replay re-executes against restored state.
+        reset = getattr(self.executor, "reset_activity", None)
+        if reset is not None:
+            reset()
 
     def evaluate(self) -> None:
-        """One full-cycle evaluation (edge updates, then comb settle)."""
+        """One full-cycle evaluation (edge updates, then comb settle).
+
+        With fault isolation on, a divide-by-zero observer is installed
+        around the evaluation so zero-divisor lanes are quarantined (the
+        two-state sentinel result 0 is produced either way).
+        """
+        if self.quarantine is None:
+            self._evaluate_inner()
+            return
+        prev = bv.set_div_fault_sink(self._on_div_zero)
+        try:
+            self._evaluate_inner()
+        finally:
+            bv.set_div_fault_sink(prev)
+
+    def _evaluate_inner(self) -> None:
         triggered = self._triggered_domains()
         # Non-blocking semantics across domains: when several clocks edge
         # in the same evaluation, every domain's next-state computes from
@@ -286,11 +425,16 @@ class BatchSimulator:
         ``inputs`` may be a mapping or a zero-argument callable returning
         one — the callable is invoked *inside* the ``set_inputs`` span so
         stimulus decode cost is attributed to input setting (Fig. 2).
+
+        With fault isolation on, a :class:`LaneStimulusError` raised by
+        the callable quarantines the offending lane and the fetch is
+        retried (the re-fetch sees the decoded values for every other
+        lane); without isolation the error propagates.
         """
         if inputs is not None:
             with self.stopwatch.span("set_inputs"), \
                     self.tracer.span("set_inputs", resource="sim"):
-                self.set_inputs(inputs() if callable(inputs) else inputs)
+                self.set_inputs(self._fetch_inputs(inputs))
         with self.stopwatch.span("evaluate"), \
                 self.tracer.span("evaluate", resource="sim"):
             self.set_clock(0)
@@ -301,6 +445,27 @@ class BatchSimulator:
         if self.metrics.enabled:
             self.metrics.inc("sim.cycles")
 
+    def _fetch_inputs(self, inputs) -> Mapping[str, ArrayLike]:
+        """Resolve the cycle's input mapping, quarantining decode faults."""
+        if not callable(inputs):
+            return inputs
+        while True:
+            try:
+                return inputs()
+            except LaneStimulusError as exc:
+                if self.quarantine is None:
+                    raise
+                fresh = self._quarantine_lanes(
+                    [exc.lane], reason=REASON_STIMULUS, detail=str(exc)
+                )
+                if not fresh:
+                    # The same dead lane failed again: the source is not
+                    # honoring the quarantine; give up rather than spin.
+                    raise SimulationError(
+                        f"stimulus decode failed repeatedly for quarantined "
+                        f"lane {exc.lane} at cycle {exc.cycle}"
+                    ) from exc
+
     def run(
         self,
         stimulus: "object" = None,
@@ -310,6 +475,9 @@ class BatchSimulator:
         stop: Optional[str] = None,
         stop_mode: str = "all",
         stop_check_every: int = 16,
+        checkpoint=None,
+        fault_plan=None,
+        start_cycle: int = 0,
     ) -> Dict[str, np.ndarray]:
         """Run a batch stimulus.
 
@@ -323,7 +491,17 @@ class BatchSimulator:
         every lane asserts it (e.g. all CPUs halted), ``'any'`` on the
         first lane.  The signal is polled every ``stop_check_every``
         cycles to keep the host/device synchronization cost negligible
-        (the batch analog of checking a device-side flag).
+        (the batch analog of checking a device-side flag).  Quarantined
+        lanes are excluded from the poll — a dead lane can never assert
+        (or block) completion.
+
+        Resilience hooks: ``checkpoint`` is a
+        :class:`repro.resilience.CheckpointManager` consulted after every
+        cycle (its policy decides when a snapshot is actually written);
+        ``fault_plan`` is a :class:`repro.resilience.FaultPlan` whose lane
+        faults are injected at their scripted cycles; ``start_cycle``
+        skips the first cycles of the stimulus (resume: pass the restored
+        ``cycles_run``).
         """
         names = list(watch) if watch is not None else [
             s.name for s in self.model.design.outputs
@@ -333,8 +511,19 @@ class BatchSimulator:
         total = cycles if cycles is not None else (
             len(stimulus) if stimulus is not None else 0
         )
+        if fault_plan is not None and fault_plan.lane_faults \
+                and self.quarantine is None:
+            self.quarantine = LaneQuarantine(self.n)
+        if checkpoint is not None:
+            checkpoint.begin(self.cycles_run)
         traces: Dict[str, List[np.ndarray]] = {n: [] for n in names}
-        for c in range(total):
+        for c in range(start_cycle, total):
+            if fault_plan is not None and self.quarantine is not None:
+                for spec in fault_plan.lane_faults_at(c):
+                    self._quarantine_lanes(
+                        [spec.lane], reason=spec.reason,
+                        detail="injected by fault plan",
+                    )
             # One shared loop body with cycle() so the two paths can't
             # drift; the lambda defers stimulus decode into the
             # set_inputs span.
@@ -345,8 +534,12 @@ class BatchSimulator:
             if trace_every and (c % trace_every == trace_every - 1):
                 for n in names:
                     traces[n].append(self.get(n).copy())
+            if checkpoint is not None:
+                checkpoint.maybe_save(self)
             if stop is not None and (c % stop_check_every == stop_check_every - 1):
                 flags = self.get(stop)
+                if self.quarantine is not None and not self.quarantine.all_active:
+                    flags = flags[self.quarantine.active]
                 done = flags.all() if stop_mode == "all" else flags.any()
                 if done:
                     break

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.resilience.faults import REASON_COVERAGE
 from repro.utils.errors import SimulationError
 
 
@@ -52,14 +53,27 @@ class _Property:
 class BatchChecker:
     """Evaluates registered properties over a batch simulator each cycle."""
 
-    def __init__(self, sim, max_violations: int = 100):
+    def __init__(self, sim, max_violations: int = 100, quarantine: bool = False):
         """``sim`` needs ``.get(name)`` and ``.model`` (a BatchSimulator).
 
         Collection stops after ``max_violations`` records per property so
         a broken design cannot flood memory.
+
+        With ``quarantine=True`` (and a simulator built with
+        ``fault_isolation=True``) a lane that violates a property is
+        quarantined — frozen in place so the remaining lanes continue
+        bit-identically.  Caveat: quarantined lanes stop contributing to
+        coverage and to subsequent checks, so coverage statistics after
+        the first violation under-count the faulted lanes.
         """
         self.sim = sim
         self.max_violations = max_violations
+        self.quarantine = quarantine
+        if quarantine and getattr(sim, "quarantine", None) is None:
+            raise SimulationError(
+                "BatchChecker(quarantine=True) needs a simulator built "
+                "with fault_isolation=True"
+            )
         self._props: List[_Property] = []
         self.violations: List[Violation] = []
         self._counts: Dict[str, int] = {}
@@ -105,6 +119,7 @@ class BatchChecker:
     def check(self, cycle: Optional[int] = None) -> List[Violation]:
         """Evaluate every property against the current state."""
         at = cycle if cycle is not None else self.cycles_checked
+        q = getattr(self.sim, "quarantine", None)
         new: List[Violation] = []
         for prop in self._props:
             if self._counts[prop.name] >= self.max_violations:
@@ -113,11 +128,22 @@ class BatchChecker:
             if ok.ndim == 0:
                 ok = np.full(self.sim.n, bool(ok))
             bad = np.nonzero(~ok.astype(bool))[0]
+            if q is not None and not q.all_active:
+                # Already-quarantined lanes are frozen; their stale state
+                # would re-violate every cycle.
+                bad = bad[q.active[bad]]
             if bad.size:
                 v = Violation(prop.name, at, [int(b) for b in bad])
                 new.append(v)
                 self.violations.append(v)
                 self._counts[prop.name] += 1
+                if self.quarantine and q is not None:
+                    self.sim._quarantine_lanes(
+                        v.lanes,
+                        reason=REASON_COVERAGE,
+                        task=prop.name,
+                        detail=f"property {prop.name!r} violated at cycle {at}",
+                    )
         self.cycles_checked += 1
         return new
 

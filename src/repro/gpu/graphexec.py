@@ -163,6 +163,17 @@ class ConditionalGraphExecutor:
         self._bound = arrays
         self._last_run = {}
 
+    def reset_activity(self) -> None:
+        """Forget every task's last-run epoch (all tasks dirty once).
+
+        Checkpoint restore rewinds the arrays' write epochs; stale
+        last-run epochs from beyond the restore point would then make
+        tasks look clean when their inputs are about to change.  The
+        simulator calls this after every restore so the first replay
+        re-executes everything against the restored state.
+        """
+        self._last_run = {}
+
     def _dirty(self, arrays: DeviceArrays, tid: int, last: int) -> bool:
         if last < 0:
             return True

@@ -33,7 +33,9 @@ from repro.obs import get_metrics, get_tracer
 from repro.partition.merge import DEFAULT_TARGET_WEIGHT, partition
 from repro.partition.taskgraph import TaskGraph
 from repro.partition.weights import WeightVector
+from repro.resilience.retry import RetryPolicy, call_with_retry
 from repro.rtlir.graph import RtlGraph
+from repro.utils.errors import RetryExhausted, WatchdogTimeout
 
 DEFAULT_MAX_ITER = 150  # the paper's sampling budget
 DEFAULT_MAX_UNIMPROVED = 30
@@ -131,10 +133,18 @@ class MCMCResult:
     accepted: int = 0
     iterations: int = 0
     evaluations: int = 0
+    # Resilience bookkeeping: trials whose every attempt crashed, hung, or
+    # timed out are scored ``inf`` (Metropolis rejects them) instead of
+    # aborting the optimization.
+    failed_trials: int = 0
+    trial_retries: int = 0
+    trial_timeouts: int = 0
 
     @property
     def improvement(self) -> float:
-        if self.initial_cost <= 0:
+        if (self.initial_cost <= 0
+                or not math.isfinite(self.initial_cost)
+                or not math.isfinite(self.best_cost)):
             return 0.0
         return (self.initial_cost - self.best_cost) / self.initial_cost
 
@@ -153,6 +163,8 @@ class MCMCPartitioner:
         max_unimproved: int = DEFAULT_MAX_UNIMPROVED,
         strategy: str = "levelpack",
         top_k: int = 30,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan=None,
     ):
         self.graph = graph
         self.estimator = estimator or Estimator(graph)
@@ -163,6 +175,15 @@ class MCMCPartitioner:
         self.max_unimproved = max_unimproved
         self.strategy = strategy
         self.top_k = top_k
+        # Watchdog + bounded retry around the compile-and-run trials: a
+        # crashed or hung candidate scores ``inf`` (rejected) instead of
+        # killing the whole optimization.  ``fault_plan`` injects scripted
+        # trial failures (see repro.resilience.inject) for testing.
+        self.retry = retry
+        self.fault_plan = fault_plan
+        self._failed_trials = 0
+        self._trial_retries = 0
+        self._trial_timeouts = 0
 
     def propose(self, weights: WeightVector) -> TaskGraph:
         return partition(
@@ -192,19 +213,62 @@ class MCMCPartitioner:
                 "mcmc.acceptance_rate",
                 result.accepted / result.iterations if result.iterations else 0.0,
             )
-            metrics.set_gauge("mcmc.initial_cost", result.initial_cost)
-            metrics.set_gauge("mcmc.best_cost", result.best_cost)
+            # Failed trials score inf; keep non-finite values out of the
+            # gauges and the trajectory (JSON export chokes on Infinity).
+            if math.isfinite(result.initial_cost):
+                metrics.set_gauge("mcmc.initial_cost", result.initial_cost)
+            if math.isfinite(result.best_cost):
+                metrics.set_gauge("mcmc.best_cost", result.best_cost)
             metrics.set_gauge("mcmc.improvement", result.improvement)
+            if result.failed_trials:
+                metrics.inc("mcmc.trials_failed", result.failed_trials)
+            if result.trial_retries:
+                metrics.inc("mcmc.trial_retries", result.trial_retries)
+            if result.trial_timeouts:
+                metrics.inc("mcmc.trial_timeouts", result.trial_timeouts)
             for cost in result.cost_history:
-                metrics.observe("mcmc.cost_trajectory", cost)
+                if math.isfinite(cost):
+                    metrics.observe("mcmc.cost_trajectory", cost)
         return result
+
+    def _trial_cost(self, taskgraph: TaskGraph, iteration: int) -> float:
+        """One guarded compile-and-run trial (Algorithm 1 line 9).
+
+        Without a retry policy or fault plan this is a plain estimate
+        (zero overhead).  Otherwise the trial runs under the watchdog +
+        bounded-retry harness; exhaustion scores ``inf``, which the
+        Metropolis step always rejects.
+        """
+        if self.retry is None and self.fault_plan is None:
+            return self.estimator.estimate_cost(taskgraph)
+
+        def attempt() -> float:
+            if self.fault_plan is not None:
+                self.fault_plan.maybe_fail_trial(iteration)
+            return self.estimator.estimate_cost(taskgraph)
+
+        def on_failure(_attempt: int, exc: BaseException) -> None:
+            self._trial_retries += 1
+            if isinstance(exc, WatchdogTimeout):
+                self._trial_timeouts += 1
+
+        policy = self.retry if self.retry is not None else RetryPolicy()
+        try:
+            return call_with_retry(
+                attempt, policy, label=f"mcmc trial {iteration}",
+                on_failure=on_failure,
+            )
+        except RetryExhausted:
+            self._failed_trials += 1
+            return math.inf
 
     def _optimize(self) -> MCMCResult:
         weights = WeightVector.ones(self.graph, self.top_k)  # line 5
         cur_cost = math.inf  # line 1
         best = weights.copy()
         best_cost = math.inf
-        initial_cost = self.estimator.estimate_cost(self.propose(weights))
+        self._failed_trials = self._trial_retries = self._trial_timeouts = 0
+        initial_cost = self._trial_cost(self.propose(weights), 0)
         cur_cost = initial_cost
         best_cost = initial_cost
         history = [initial_cost]
@@ -216,7 +280,7 @@ class MCMCPartitioner:
             candidate = weights.copy()
             candidate.random_increase(self.rng)  # line 7
             graph = self.propose(candidate)  # line 8
-            cost = self.estimator.estimate_cost(graph)  # line 9
+            cost = self._trial_cost(graph, it)  # line 9
             history.append(cost)
             if cur_cost > cost:  # lines 10-14
                 weights = candidate
@@ -241,4 +305,7 @@ class MCMCPartitioner:
             accepted=accepted,
             iterations=it,
             evaluations=self.estimator.evaluations,
+            failed_trials=self._failed_trials,
+            trial_retries=self._trial_retries,
+            trial_timeouts=self._trial_timeouts,
         )

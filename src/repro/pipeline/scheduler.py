@@ -31,7 +31,8 @@ from repro.gpu.device import SimulatedDevice
 from repro.obs import get_metrics, get_tracer
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
-from repro.utils.errors import SimulationError
+from repro.resilience.faults import LaneFault, LaneQuarantine
+from repro.utils.errors import CheckpointError, SimulationError
 
 
 @dataclass
@@ -46,6 +47,10 @@ class PipelineReport:
     cycles: int = 0
     n: int = 0
     pipelined: bool = True
+    # Resilience: True when a pipelined chunk crashed and was re-executed
+    # sequentially; count of lanes quarantined across all groups.
+    fallback_used: bool = False
+    faulted_lanes: int = 0
     # Filled by run_virtual(): virtual-time makespans of both schedules
     # computed from measured stage durations (see pipeline.virtualtime).
     virtual: bool = False
@@ -79,6 +84,8 @@ class PipelineSimulator:
         pipeline: bool = True,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        fault_isolation: bool = False,
+        fallback_sequential: bool = True,
     ):
         if groups <= 0 or n % groups != 0:
             raise SimulationError(
@@ -90,16 +97,22 @@ class PipelineSimulator:
         self.group_size = n // groups
         self.cpu_workers = max(1, cpu_workers)
         self.pipeline = pipeline
+        # A crashed pipelined chunk is rolled back and re-executed
+        # sequentially (one group at a time); only a failure that
+        # reproduces there propagates.
+        self.fallback_sequential = fallback_sequential
         self.tracer = tracer if tracer is not None else get_tracer()
         self.metrics = metrics if metrics is not None else get_metrics()
         self.device = device or SimulatedDevice(tracer=self.tracer)
         self.sims: List[BatchSimulator] = [
             BatchSimulator(model, self.group_size, executor=executor,
                            device=self.device, tracer=self.tracer,
-                           metrics=self.metrics)
+                           metrics=self.metrics,
+                           fault_isolation=fault_isolation)
             for _ in range(groups)
         ]
         self.report = PipelineReport(groups=groups, n=n, pipelined=pipeline)
+        self._fault_plan = None
 
     # -- state helpers ------------------------------------------------------------
 
@@ -119,6 +132,91 @@ class PipelineSimulator:
         g, off = divmod(lane, self.group_size)
         return self.sims[g].read_memory(name, lane=off)
 
+    # -- resilience: faults + checkpoints --------------------------------------------
+
+    @property
+    def cycles_run(self) -> int:
+        """Cycles completed by every group (groups advance in lockstep at
+        chunk granularity; between chunk boundaries this is the floor)."""
+        return min(sim.cycles_run for sim in self.sims)
+
+    def faults(self) -> List[LaneFault]:
+        """All lane faults across groups, with lanes in *global* numbering."""
+        out: List[LaneFault] = []
+        for g, sim in enumerate(self.sims):
+            if sim.quarantine is None:
+                continue
+            base = g * self.group_size
+            for f in sim.quarantine.faults:
+                out.append(LaneFault(lane=base + f.lane, cycle=f.cycle,
+                                     reason=f.reason, task=f.task,
+                                     detail=f.detail))
+        out.sort(key=lambda f: (f.cycle, f.lane))
+        return out
+
+    def fault_report(self) -> dict:
+        """JSON-ready quarantine summary over the whole batch."""
+        faults = self.faults()
+        return {
+            "n": self.n,
+            "active_lanes": self.n - len(faults),
+            "faulted_lanes": [f.lane for f in faults],
+            "faults": [f.to_dict() for f in faults],
+        }
+
+    def save_checkpoint(self) -> dict:
+        """Snapshot all groups (only valid at a consistent cycle boundary).
+
+        The pipelined scheduler only checkpoints between chunks, when the
+        worker threads have joined and every group sits at the same cycle;
+        a desynchronized snapshot request is a bug and is rejected.
+        """
+        cycles = {sim.cycles_run for sim in self.sims}
+        if len(cycles) != 1:
+            raise CheckpointError(
+                f"pipeline groups are desynchronized (cycle counts "
+                f"{sorted(cycles)}); checkpoints are only valid at chunk "
+                f"boundaries"
+            )
+        return {
+            "pipeline": {"groups": self.groups, "n": self.n},
+            "cycles_run": cycles.pop(),
+            "group_checkpoints": [sim.save_checkpoint() for sim in self.sims],
+        }
+
+    def restore_checkpoint(self, ckpt: dict) -> None:
+        """Restore a :meth:`save_checkpoint` snapshot into every group.
+
+        Validates shape *before* touching any group so a mismatched
+        checkpoint can never leave the simulator half-restored.
+        """
+        meta = ckpt.get("pipeline")
+        if meta is None:
+            raise CheckpointError(
+                "not a pipeline checkpoint (single-simulator checkpoints "
+                "restore via BatchSimulator.restore_checkpoint)"
+            )
+        if meta.get("groups") != self.groups or meta.get("n") != self.n:
+            raise CheckpointError(
+                f"checkpoint is for {meta.get('groups')} groups of batch "
+                f"size {meta.get('n')}, not {self.groups} groups of {self.n}"
+            )
+        group_ckpts = ckpt.get("group_checkpoints", ())
+        if len(group_ckpts) != self.groups:
+            raise CheckpointError(
+                f"checkpoint holds {len(group_ckpts)} group snapshots, "
+                f"expected {self.groups}"
+            )
+        cycles = {c.get("cycles_run") for c in group_ckpts}
+        if len(cycles) != 1 or cycles != {ckpt.get("cycles_run")}:
+            raise CheckpointError(
+                f"checkpoint group progress is inconsistent "
+                f"({sorted(cycles)} vs {ckpt.get('cycles_run')}); refusing "
+                f"to restore a torn snapshot"
+            )
+        for sim, c in zip(self.sims, group_ckpts):
+            sim.restore_checkpoint(c)
+
     # -- the run loop ----------------------------------------------------------------
 
     def run(
@@ -126,24 +224,76 @@ class PipelineSimulator:
         stim,
         cycles: Optional[int] = None,
         watch: Optional[Sequence[str]] = None,
+        checkpoint=None,
+        fault_plan=None,
+        start_cycle: int = 0,
     ) -> Dict[str, np.ndarray]:
         """Simulate ``cycles`` of the batch stimulus; returns final values.
 
         ``stim`` needs ``inputs_at_range(cycle, lo, hi)`` — both
         :class:`StimulusBatch` and :class:`TextStimulusBatch` qualify.
+
+        Resilience hooks mirror :meth:`BatchSimulator.run`: ``checkpoint``
+        (a :class:`repro.resilience.CheckpointManager`) makes the run
+        execute in chunks of the policy's cycle interval — worker threads
+        join at each chunk boundary, where every group sits at the same
+        cycle and a consistent snapshot can be written.  ``fault_plan``
+        injects scripted lane faults (global lane numbering) and group
+        crashes; ``start_cycle`` resumes a restored checkpoint.
+
+        A crashed pipelined chunk rolls back to the chunk's start state
+        and re-executes sequentially when ``fallback_sequential`` is on;
+        only errors that reproduce there propagate.
         """
         total = cycles if cycles is not None else len(stim)
         names = list(watch) if watch is not None else [
             s.name for s in self.model.design.outputs
         ]
         self.device.reset()
+        self._fault_plan = fault_plan
+        if fault_plan is not None and fault_plan.lane_faults:
+            for sim in self.sims:
+                if sim.quarantine is None:
+                    sim.quarantine = LaneQuarantine(sim.n)
         set_inputs_time = [0.0] * self.groups
+        if checkpoint is not None:
+            checkpoint.begin(self.cycles_run)
+        # Chunk size: the checkpoint cadence when given, else one chunk.
+        chunk = total - start_cycle
+        if checkpoint is not None and checkpoint.policy is not None:
+            chunk = checkpoint.policy.every_cycles or 16
 
         t0 = time.perf_counter()
-        if self.pipeline:
-            self._run_pipelined(stim, total, set_inputs_time)
-        else:
-            self._run_sequential(stim, total, set_inputs_time)
+        degraded = False  # stay sequential once a pipelined chunk crashed
+        c0 = start_cycle
+        while c0 < total:
+            c1 = min(total, c0 + max(1, chunk))
+            if self.pipeline and not degraded:
+                snap = (
+                    [sim.save_checkpoint() for sim in self.sims]
+                    if self.fallback_sequential else None
+                )
+                try:
+                    self._run_pipelined(stim, c0, c1, set_inputs_time)
+                except Exception:
+                    if snap is None:
+                        raise
+                    # Roll the groups back to the chunk's start state and
+                    # replay it one group at a time; a transient failure
+                    # (scheduling, injection) is absorbed, a persistent
+                    # one re-raises from the sequential path below.
+                    for sim, s in zip(self.sims, snap):
+                        sim.restore_checkpoint(s)
+                    degraded = True
+                    self.report.fallback_used = True
+                    if self.metrics.enabled:
+                        self.metrics.inc("pipeline.fallbacks")
+                    self._run_sequential(stim, c0, c1, set_inputs_time)
+            else:
+                self._run_sequential(stim, c0, c1, set_inputs_time)
+            c0 = c1
+            if checkpoint is not None:
+                checkpoint.maybe_save(self)
         wall = time.perf_counter() - t0
 
         r = self.report
@@ -152,6 +302,10 @@ class PipelineSimulator:
         r.evaluate_seconds = self.device.stats.busy_seconds
         r.gpu_utilization = self.device.utilization(wall)
         r.cycles = total
+        r.faulted_lanes = sum(
+            sim.quarantine.fault_count
+            for sim in self.sims if sim.quarantine is not None
+        )
         self._publish_metrics(r)
         return {name: self.get(name) for name in names}
 
@@ -187,12 +341,28 @@ class PipelineSimulator:
 
     def _evaluate_group(self, g: int, cycle: int) -> None:
         sim = self.sims[g]
+        if self._fault_plan is not None:
+            self._inject_faults(g, cycle)
         sim.set_clock(0)
         sim.evaluate()
         sim.set_clock(1)
         sim.evaluate()
+        sim.cycles_run += 1
 
-    def _run_pipelined(self, stim, total: int, acc: List[float]) -> None:
+    def _inject_faults(self, g: int, cycle: int) -> None:
+        """Apply this (group, cycle)'s scripted faults from the plan."""
+        plan = self._fault_plan
+        plan.maybe_fail_group(g, cycle)
+        for spec in plan.lane_faults_at(cycle):
+            gg, off = divmod(spec.lane, self.group_size)
+            if gg == g and self.sims[g].quarantine is not None:
+                self.sims[g]._quarantine_lanes(
+                    [off], reason=spec.reason, detail="injected by fault plan"
+                )
+
+    def _run_pipelined(
+        self, stim, start: int, end: int, acc: List[float]
+    ) -> None:
         cpu_slots = threading.Semaphore(self.cpu_workers)
         # First failure wins: the stop event cancels the sibling chains at
         # their next cycle boundary instead of letting them simulate the
@@ -205,7 +375,7 @@ class PipelineSimulator:
 
         def group_chain(g: int) -> None:
             try:
-                for c in range(total):
+                for c in range(start, end):
                     if stop.is_set():
                         return
                     if c < len(stim):
@@ -254,6 +424,7 @@ class PipelineSimulator:
             s.name for s in self.model.design.outputs
         ]
         self.device.reset()
+        self._fault_plan = None  # virtual runs never inject
         cpu_t = np.zeros((self.groups, total))
         gpu_t = np.zeros((self.groups, total))
         for c in range(total):
@@ -294,7 +465,9 @@ class PipelineSimulator:
         self._publish_metrics(r)
         return {name: self.get(name) for name in names}
 
-    def _run_sequential(self, stim, total: int, acc: List[float]) -> None:
+    def _run_sequential(
+        self, stim, start: int, end: int, acc: List[float]
+    ) -> None:
         # RTLflow^-p: the GPU waits for set_inputs of the whole batch each
         # cycle.  set_inputs itself may use a thread pool (fairness).
         pool = (
@@ -303,7 +476,7 @@ class PipelineSimulator:
             else None
         )
         try:
-            for c in range(total):
+            for c in range(start, end):
                 if c < len(stim):
                     if pool is not None:
                         futures = [

@@ -167,18 +167,45 @@ def b_u64(a: np.ndarray) -> np.ndarray:
     return a.astype(_U64, copy=False)
 
 
+# Optional divide-by-zero observer.  The two-state sentinel (result 0) is
+# always produced regardless; when a sink is installed (the batch
+# simulator does, per evaluation, when lane fault isolation is on) it
+# receives the boolean zero-divisor mask so the offending lanes can be
+# quarantined.  ``None`` (the default) keeps the hot path a single test.
+_div_fault_sink = None
+
+
+def set_div_fault_sink(sink):
+    """Install a divide-by-zero observer; returns the previous one.
+
+    ``sink(zero_mask)`` is called with the boolean ``divisor == 0`` mask
+    whenever a batch division or modulo sees a zero divisor.  Pass
+    ``None`` to uninstall.
+    """
+    global _div_fault_sink
+    prev = _div_fault_sink
+    _div_fault_sink = sink
+    return prev
+
+
 def b_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Batch unsigned division; divide-by-zero lanes yield 0."""
-    safe = np.where(b == 0, _U64(1), b)
+    zero = b == 0
+    if _div_fault_sink is not None and zero.any():
+        _div_fault_sink(zero)
+    safe = np.where(zero, _U64(1), b)
     q = a // safe
-    return np.where(b == 0, _U64(0), q)
+    return np.where(zero, _U64(0), q)
 
 
 def b_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Batch unsigned modulo; modulo-by-zero lanes yield 0."""
-    safe = np.where(b == 0, _U64(1), b)
+    zero = b == 0
+    if _div_fault_sink is not None and zero.any():
+        _div_fault_sink(zero)
+    safe = np.where(zero, _U64(1), b)
     r = a % safe
-    return np.where(b == 0, _U64(0), r)
+    return np.where(zero, _U64(0), r)
 
 
 def b_shl(a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -93,3 +93,36 @@ class LintError(ReproError):
 
 class SimulationError(ReproError):
     """A runtime failure while simulating (bad stimulus, comb loop, etc.)."""
+
+
+class ResilienceError(ReproError):
+    """Base class for fault-tolerance failures (checkpointing, watchdogs)."""
+
+
+class CheckpointError(ResilienceError):
+    """A durable checkpoint could not be written, read, or restored."""
+
+
+class WatchdogTimeout(ResilienceError):
+    """A guarded operation exceeded its watchdog timeout.
+
+    The runner cannot forcibly kill the worker thread, so the operation
+    may still be executing in the background; callers must treat its side
+    effects as undefined and discard its result.
+    """
+
+
+class RetryExhausted(ResilienceError):
+    """Every retry attempt of a guarded operation failed.
+
+    ``last_error`` holds the exception of the final attempt and
+    ``attempts`` how many were made; callers decide whether exhaustion is
+    fatal (re-raise) or degradable (e.g. an MCMC trial scored as
+    rejected).
+    """
+
+    def __init__(self, message: str, last_error: Optional[BaseException] = None,
+                 attempts: int = 0, **kw):
+        super().__init__(message, **kw)
+        self.last_error = last_error
+        self.attempts = attempts
