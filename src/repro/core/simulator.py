@@ -493,7 +493,10 @@ class BatchSimulator:
         cycles to keep the host/device synchronization cost negligible
         (the batch analog of checking a device-side flag).  Quarantined
         lanes are excluded from the poll — a dead lane can never assert
-        (or block) completion.
+        (or block) completion — and a batch whose every lane has been
+        quarantined ends the run early (counted in the
+        ``resilience.batch_dead_stops`` metric) rather than simulating
+        dead state to the end.
 
         Resilience hooks: ``checkpoint`` is a
         :class:`repro.resilience.CheckpointManager` consulted after every
@@ -536,6 +539,14 @@ class BatchSimulator:
                     traces[n].append(self.get(n).copy())
             if checkpoint is not None:
                 checkpoint.maybe_save(self)
+            if self.quarantine is not None and not self.quarantine.any_active:
+                # Every lane is dead: nothing left that can make progress
+                # (or assert / block a stop signal).  Bail out rather than
+                # burn the remaining cycles — and never let the empty
+                # active mask below read as "all lanes stopped".
+                if self.metrics.enabled:
+                    self.metrics.inc("resilience.batch_dead_stops")
+                break
             if stop is not None and (c % stop_check_every == stop_check_every - 1):
                 flags = self.get(stop)
                 if self.quarantine is not None and not self.quarantine.all_active:

@@ -56,6 +56,28 @@ class DeviceStats:
         """Busy plus modeled overhead: the simulated-device elapsed time."""
         return self.busy_seconds + self.overhead_seconds
 
+    def clone(self) -> "DeviceStats":
+        """An independent copy (for rollback of partial accounting)."""
+        return DeviceStats(
+            kernel_launches=self.kernel_launches,
+            graph_launches=self.graph_launches,
+            event_ops=self.event_ops,
+            sync_calls=self.sync_calls,
+            busy_seconds=self.busy_seconds,
+            overhead_seconds=self.overhead_seconds,
+        )
+
+    def load(self, other: "DeviceStats") -> None:
+        """Overwrite this instance's counters with ``other``'s, in place
+        (callers hold references to ``device.stats``, so rollback must
+        not swap the object)."""
+        self.kernel_launches = other.kernel_launches
+        self.graph_launches = other.graph_launches
+        self.event_ops = other.event_ops
+        self.sync_calls = other.sync_calls
+        self.busy_seconds = other.busy_seconds
+        self.overhead_seconds = other.overhead_seconds
+
 
 class SimulatedDevice:
     """Executes kernels and accounts for launch overheads and busy time."""

@@ -179,6 +179,15 @@ class MCMCPartitioner:
         # crashed or hung candidate scores ``inf`` (rejected) instead of
         # killing the whole optimization.  ``fault_plan`` injects scripted
         # trial failures (see repro.resilience.inject) for testing.
+        #
+        # Contract when ``fault_plan`` is set but ``retry`` is None: the
+        # trials run under ``RetryPolicy()`` defaults (max_attempts=2, no
+        # timeout), so a persistent injected fault is retried once before
+        # scoring ``inf`` — pass an explicit ``RetryPolicy(max_attempts=1)``
+        # to observe each injected fault exactly once.  Hang injections are
+        # only bounded when the effective policy sets ``timeout_s``; with
+        # no timeout a hang simply sleeps its scripted duration and the
+        # trial returns a normal (untimed-out) cost.
         self.retry = retry
         self.fault_plan = fault_plan
         self._failed_trials = 0
@@ -238,6 +247,11 @@ class MCMCPartitioner:
         (zero overhead).  Otherwise the trial runs under the watchdog +
         bounded-retry harness; exhaustion scores ``inf``, which the
         Metropolis step always rejects.
+
+        A ``fault_plan`` with no explicit ``retry`` policy uses
+        ``RetryPolicy()`` defaults (max_attempts=2, no timeout) — see the
+        constructor notes for how that interacts with persistent-fault
+        and hang injections.
         """
         if self.retry is None and self.fault_plan is None:
             return self.estimator.estimate_cost(taskgraph)

@@ -273,6 +273,16 @@ class PipelineSimulator:
                     [sim.save_checkpoint() for sim in self.sims]
                     if self.fallback_sequential else None
                 )
+                # Timing bookkeeping snapshots ride along with the state
+                # snapshot: the crashed chunk's partial set_inputs time
+                # and device busy/overhead must not survive the rollback,
+                # or the sequential replay double-counts the cycles and
+                # skews set_inputs_seconds / evaluate_seconds /
+                # gpu_utilization in the report.
+                acc_snap = list(set_inputs_time) if snap is not None else None
+                dev_snap = (
+                    self.device.stats.clone() if snap is not None else None
+                )
                 try:
                     self._run_pipelined(stim, c0, c1, set_inputs_time)
                 except Exception:
@@ -284,6 +294,8 @@ class PipelineSimulator:
                     # one re-raises from the sequential path below.
                     for sim, s in zip(self.sims, snap):
                         sim.restore_checkpoint(s)
+                    set_inputs_time[:] = acc_snap
+                    self.device.stats.load(dev_snap)
                     degraded = True
                     self.report.fallback_used = True
                     if self.metrics.enabled:

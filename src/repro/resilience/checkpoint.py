@@ -248,7 +248,12 @@ class CheckpointManager:
         try:
             with open(path, "rb") as fh:
                 return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        except Exception as exc:
+            # Corrupt or version-skewed pickles raise far more than
+            # UnpicklingError (AttributeError / ImportError / KeyError /
+            # ValueError / ... from inside the deserializer), so wrap
+            # everything: callers get the documented CheckpointError and
+            # their graceful resume-failure path, never a raw exception.
             raise CheckpointError(
                 f"cannot load checkpoint {path}: {exc}"
             ) from exc

@@ -109,6 +109,12 @@ class LaneQuarantine:
         return self._all_active
 
     @property
+    def any_active(self) -> bool:
+        """True while at least one lane is still live (O(1): every dead
+        lane has exactly one fault record, so no mask reduction needed)."""
+        return len(self.faults) < self.n
+
+    @property
     def fault_count(self) -> int:
         return len(self.faults)
 

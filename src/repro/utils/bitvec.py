@@ -17,6 +17,7 @@ two-state evaluation.
 
 from __future__ import annotations
 
+import threading
 from typing import Union
 
 import numpy as np
@@ -171,28 +172,41 @@ def b_u64(a: np.ndarray) -> np.ndarray:
 # always produced regardless; when a sink is installed (the batch
 # simulator does, per evaluation, when lane fault isolation is on) it
 # receives the boolean zero-divisor mask so the offending lanes can be
-# quarantined.  ``None`` (the default) keeps the hot path a single test.
-_div_fault_sink = None
+# quarantined.  The sink is **thread-local**: the pipelined scheduler
+# evaluates independent stimulus groups on concurrent threads, each with
+# its own simulator, and a process-global sink would deliver one group's
+# zero-divisor mask to another group's quarantine (and install/restore
+# pairs on different threads would race).  ``None`` (the default) keeps
+# the hot path a single getattr + test.
+_div_fault_tls = threading.local()
+
+
+def _get_div_fault_sink():
+    """The calling thread's divide-by-zero observer (or None)."""
+    return getattr(_div_fault_tls, "sink", None)
 
 
 def set_div_fault_sink(sink):
-    """Install a divide-by-zero observer; returns the previous one.
+    """Install a divide-by-zero observer **for the calling thread**;
+    returns the thread's previous one.
 
     ``sink(zero_mask)`` is called with the boolean ``divisor == 0`` mask
-    whenever a batch division or modulo sees a zero divisor.  Pass
-    ``None`` to uninstall.
+    whenever a batch division or modulo on this thread sees a zero
+    divisor.  Pass ``None`` to uninstall.  Each thread has its own slot,
+    so concurrent simulators (pipeline groups) never observe each
+    other's faults.
     """
-    global _div_fault_sink
-    prev = _div_fault_sink
-    _div_fault_sink = sink
+    prev = getattr(_div_fault_tls, "sink", None)
+    _div_fault_tls.sink = sink
     return prev
 
 
 def b_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Batch unsigned division; divide-by-zero lanes yield 0."""
     zero = b == 0
-    if _div_fault_sink is not None and zero.any():
-        _div_fault_sink(zero)
+    sink = getattr(_div_fault_tls, "sink", None)
+    if sink is not None and zero.any():
+        sink(zero)
     safe = np.where(zero, _U64(1), b)
     q = a // safe
     return np.where(zero, _U64(0), q)
@@ -201,8 +215,9 @@ def b_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 def b_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Batch unsigned modulo; modulo-by-zero lanes yield 0."""
     zero = b == 0
-    if _div_fault_sink is not None and zero.any():
-        _div_fault_sink(zero)
+    sink = getattr(_div_fault_tls, "sink", None)
+    if sink is not None and zero.any():
+        sink(zero)
     safe = np.where(zero, _U64(1), b)
     r = a % safe
     return np.where(zero, _U64(0), r)

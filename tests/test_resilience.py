@@ -20,6 +20,7 @@ import os
 import subprocess
 import sys
 import textwrap
+import threading
 
 import numpy as np
 import pytest
@@ -57,6 +58,7 @@ from repro.resilience import (
     run_with_timeout,
 )
 from repro.stimulus.batch import StimulusBatch
+from repro.utils import bitvec as bv
 from repro.utils.errors import (
     CheckpointError,
     RetryExhausted,
@@ -325,6 +327,80 @@ class TestFaultDetectors:
             sim.run(FaultyStimulus(stim, plan))
 
 
+# ---------------------------------------------------------------------------
+# Div-fault sink thread isolation (pipelined groups evaluate concurrently)
+# ---------------------------------------------------------------------------
+
+
+class TestDivFaultSinkThreadIsolation:
+    def test_sink_is_thread_local(self):
+        """Each thread's installed sink sees only its own divisions.
+
+        The pipelined scheduler evaluates independent groups on
+        concurrent threads; a process-global sink would let one thread's
+        install/uninstall clear another's (missed faults) or deliver a
+        zero-divisor mask to the wrong group's quarantine.
+        """
+        rounds = 100
+        received = {"a": [], "b": []}
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def worker(tag):
+            try:
+                def sink(mask):
+                    received[tag].append(threading.get_ident())
+                assert bv.set_div_fault_sink(sink) is None  # fresh thread
+                try:
+                    barrier.wait()
+                    num = np.full(4, 8, dtype=np.uint64)
+                    den = np.zeros(4, dtype=np.uint64)
+                    for _ in range(rounds):
+                        assert (bv.b_div(num, den) == 0).all()
+                finally:
+                    bv.set_div_fault_sink(None)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        ta = threading.Thread(target=worker, args=("a",))
+        tb = threading.Thread(target=worker, args=("b",))
+        for t in (ta, tb):
+            t.start()
+        for t in (ta, tb):
+            t.join()
+        assert not errors
+        # No missed deliveries, and every delivery on the installing thread.
+        assert len(received["a"]) == rounds
+        assert len(received["b"]) == rounds
+        assert set(received["a"]) == {ta.ident}
+        assert set(received["b"]) == {tb.ident}
+
+    def test_pipelined_div_fault_stays_in_owning_group(self):
+        """Zero divisors in one group quarantine only that group's lanes
+        even when groups evaluate on concurrent worker threads."""
+        graph = compile_graph(DIVIDER_V, "divider")
+        model = KernelCodegen(partition(graph, target_weight=64.0)).compile()
+        n, cycles, groups = 16, 40, 4  # group size 4: lanes 8-11 = group 2
+        a = np.full((cycles, n), 100, dtype=np.uint64)
+        b = np.full((cycles, n), 7, dtype=np.uint64)
+        b[5, 9] = 0
+        b[11, 8] = 0
+        stim = StimulusBatch({"a": a, "b": b})
+
+        clean = PipelineSimulator(model, n, groups=groups)
+        clean_out = clean.run(stim)
+
+        pipe = PipelineSimulator(model, n, groups=groups,
+                                 fault_isolation=True)
+        out = pipe.run(stim)
+        rep = pipe.fault_report()
+        assert sorted(rep["faulted_lanes"]) == [8, 9]  # fault order: (cycle, lane)
+        assert all(f.reason == REASON_DIV_ZERO for f in pipe.faults())
+        surv = np.ones(n, dtype=bool)
+        surv[[8, 9]] = False
+        assert np.array_equal(out["q"][surv], clean_out["q"][surv])
+
+
 DONECTR_V = """
 module donectr (
     input wire clk,
@@ -359,6 +435,32 @@ class TestStopPolling:
         sim.run(stim, fault_plan=plan, stop="done", stop_mode="all",
                 stop_check_every=4)
         assert sim.cycles_run < 50
+
+    def test_fully_quarantined_batch_stops_early(self):
+        """Once every lane is dead the run bails out instead of burning
+        the remaining cycles (stop_mode='any' could otherwise never
+        fire over an empty active set)."""
+        n, cycles = 4, 200
+        stim = counter_stim(n, cycles, seed=3)
+        plan = FaultPlan(
+            lane_faults=[LaneFaultSpec(cycle=2, lane=l) for l in range(n)]
+        )
+        sim = make_sim(COUNTER_V, "counter", n, fault_isolation=True)
+        sim.run(stim, fault_plan=plan, stop="count", stop_mode="any",
+                stop_check_every=4)
+        assert sim.quarantine.fault_count == n
+        assert not sim.quarantine.any_active
+        assert sim.cycles_run <= 3  # faults land at cycle 2; bail right after
+
+    def test_fully_quarantined_batch_stops_without_stop_signal(self):
+        n, cycles = 4, 200
+        stim = counter_stim(n, cycles, seed=3)
+        plan = FaultPlan(
+            lane_faults=[LaneFaultSpec(cycle=5, lane=l) for l in range(n)]
+        )
+        sim = make_sim(COUNTER_V, "counter", n, fault_isolation=True)
+        sim.run(stim, fault_plan=plan)
+        assert sim.cycles_run <= 6
 
 
 # ---------------------------------------------------------------------------
@@ -484,6 +586,22 @@ class TestCheckpointManager:
     def test_load_missing_checkpoint_raises(self, tmp_path):
         with pytest.raises(CheckpointError):
             CheckpointManager.load(str(tmp_path / "nope.pkl"))
+
+    def test_load_wraps_arbitrary_unpickle_errors(self, tmp_path):
+        """Corrupt / version-skewed pickles raise much more than
+        UnpicklingError (ImportError, AttributeError, ...); all of it
+        must surface as the documented CheckpointError."""
+        # A GLOBAL opcode referencing a module that doesn't exist: raw
+        # pickle.load raises ModuleNotFoundError, not UnpicklingError.
+        skewed = tmp_path / "ckpt-000000000001.pkl"
+        skewed.write_bytes(b"cnonexistent_module_xyz\nNoClass\n.")
+        with pytest.raises(CheckpointError, match="cannot load checkpoint"):
+            CheckpointManager.load(str(skewed))
+        # Truncated payload (the classic torn write) stays wrapped too.
+        truncated = tmp_path / "ckpt-000000000002.pkl"
+        truncated.write_bytes(b"\x80\x04\x95")
+        with pytest.raises(CheckpointError, match="cannot load checkpoint"):
+            CheckpointManager.load(str(truncated))
 
     def test_invalid_policy_rejected(self):
         with pytest.raises(CheckpointError):
@@ -695,6 +813,24 @@ class TestPipelineFallback:
         out = pipe.run(stim, fault_plan=plan)
         assert pipe.report.fallback_used
         assert np.array_equal(out["count"], ref_out["count"])
+
+    def test_fallback_rolls_back_partial_accounting(self):
+        """The crashed chunk's partial device/set_inputs accounting is
+        rolled back with the state, so a fallback run books exactly one
+        pass over every (group, cycle) — same launch counts as a clean
+        run, no double-counting from the replayed cycles."""
+        model = self._model()
+        n, cycles = 16, 32
+        stim = counter_stim(n, cycles, seed=6)
+        ref = PipelineSimulator(model, n, groups=4)
+        ref.run(stim)
+
+        plan = FaultPlan(group_faults=[GroupFaultSpec(group=1, cycle=10)])
+        pipe = PipelineSimulator(model, n, groups=4)
+        pipe.run(stim, fault_plan=plan)
+        assert pipe.report.fallback_used
+        assert pipe.device.stats.graph_launches == ref.device.stats.graph_launches
+        assert pipe.device.stats.kernel_launches == ref.device.stats.kernel_launches
 
     def test_persistent_group_crash_propagates(self):
         model = self._model()
