@@ -14,6 +14,11 @@ run        Run a bundled design under the resilience harness: per-lane
            fault isolation, durable checkpoint/resume
            (``--checkpoint-dir``/``--resume``), and deterministic fault
            injection (``--inject-lane-fault``, ``--inject-checkpoint-failure``).
+campaign   Run a bundled design as a sharded multi-process campaign:
+           lane shards on a pool of worker processes with heartbeats,
+           crash recovery from per-shard checkpoints
+           (``--workers``/``--shard-lanes``/``--checkpoint-dir``/``--resume``)
+           and merged outputs/coverage/faults/telemetry.
 coverage   Run random stimulus and report toggle coverage.
 profile    Run a bundled design under full telemetry and export a
            Chrome-trace JSON (loads in ui.perfetto.dev) plus a metrics
@@ -392,6 +397,103 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    """Run a bundled design as a sharded multi-process campaign."""
+    from repro import resilience as rz
+    from repro.cluster import CampaignSpec, run_campaign
+    from repro.designs import get_design
+
+    bundle = get_design(args.design)
+
+    lane_faults = []
+    for s in args.inject_lane_fault:
+        try:
+            f = rz.parse_lane_fault(s)
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+        lane_faults.append((f.cycle, f.lane, f.reason))
+
+    crash = {}
+    for s in args.inject_worker_crash:
+        parts = s.split(":")
+        try:
+            shard, cycle = int(parts[0]), int(parts[1])
+            if len(parts) != 2:
+                raise ValueError
+        except (ValueError, IndexError):
+            raise ReproError(
+                f"worker crash spec must be SHARD:CYCLE, got {s!r}"
+            ) from None
+        crash[shard] = cycle
+
+    if args.resume and not args.checkpoint_dir:
+        raise ReproError("--resume requires --checkpoint-dir")
+    if crash and not args.checkpoint_dir:
+        print("note: --inject-worker-crash without --checkpoint-dir "
+              "recomputes the killed shard from scratch", file=sys.stderr)
+
+    spec = CampaignSpec(
+        n=args.batch,
+        cycles=args.cycles,
+        design=args.design,
+        seed=args.seed,
+        executor=args.executor,
+        watch=bundle.watch,
+        fault_isolation=args.fault_isolation or bool(lane_faults),
+        lane_faults=lane_faults,
+        coverage=args.coverage,
+        checkpoint_every=args.checkpoint_every or None,
+        checkpoint_every_seconds=args.checkpoint_every_seconds or None,
+    )
+    result = run_campaign(
+        spec,
+        workers=args.workers,
+        shard_lanes=args.shard_lanes,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        inject_worker_crash=crash,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_restarts=args.max_restarts,
+    )
+
+    rows = []
+    for name, values in result.outputs.items():
+        preview = " ".join(format(int(v), "x") for v in values[:8])
+        more = " ..." if args.batch > 8 else ""
+        rows.append([name, f"{preview}{more}"])
+    print(format_table(
+        ["output", "final values (hex, first lanes)"], rows,
+        title=f"{args.design}: {args.batch} stimulus x {args.cycles} cycles "
+              f"({len(result.shards)} shards, {args.workers} workers, "
+              f"executor={args.executor})",
+    ))
+    print(result.summary())
+    cached = sum(1 for o in result.shards if o.cached)
+    if cached:
+        print(f"resumed {cached}/{len(result.shards)} shards from "
+              f"persisted results")
+    for o in result.shards:
+        if o.attempts > 1:
+            print(f"shard {o.id} [lanes {o.lo}:{o.hi}] needed {o.attempts} "
+                  f"attempts (restarted from cycle {o.resumed_from})")
+
+    report = result.fault_report()
+    if report["faulted_lanes"]:
+        print(f"quarantined {len(report['faulted_lanes'])}/{report['n']} lanes:")
+        for f in report["faults"][:20]:
+            print(f"  lane {f['lane']} @ cycle {f['cycle']}: {f['reason']}")
+    if args.fault_report:
+        payload = dict(report)
+        payload["design"] = args.design
+        payload["shards"] = [o.to_dict() for o in result.shards]
+        payload["restarts"] = result.restarts
+        rz.atomic_write_json(args.fault_report, payload)
+        print(f"wrote {args.fault_report}")
+    if len(report["faulted_lanes"]) >= report["n"]:
+        return 1  # every lane died: nothing useful survived
+    return 0
+
+
 def cmd_designs(args) -> int:
     from repro.designs import get_design, list_designs
 
@@ -549,6 +651,59 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the structured lane-fault report JSON here")
     add_telemetry_args(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a sharded multi-process campaign with crash recovery "
+             "and merged outputs/coverage/faults/telemetry",
+    )
+    p.add_argument("design", help="bundled design name (see `repro designs`)")
+    p.add_argument("--batch", "-n", type=int, default=256)
+    p.add_argument("--cycles", "-c", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--executor", choices=["graph", "graph-fused", "graph-conditional", "stream"],
+                   default="graph")
+    p.add_argument("--workers", "-w", type=int, default=2,
+                   help="worker processes (0 = run shards inline, no "
+                        "multiprocessing)")
+    p.add_argument("--shard-lanes", type=int, default=None, metavar="L",
+                   help="lanes per shard (default: sized for ~4 shards "
+                        "per worker)")
+    p.add_argument("--coverage", action="store_true",
+                   help="collect merged toggle coverage across all shards")
+    p.add_argument("--fault-isolation", action="store_true",
+                   help="quarantine poisoned lanes instead of aborting "
+                        "(implied by --inject-lane-fault)")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="root for per-shard checkpoints and persisted "
+                        "shard results (enables crash recovery)")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="K",
+                   help="snapshot each shard every K cycles")
+    p.add_argument("--checkpoint-every-seconds", type=float, default=0.0,
+                   metavar="T", help="snapshot each shard every T seconds")
+    p.add_argument("--resume", action="store_true",
+                   help="reload completed shard results from "
+                        "--checkpoint-dir and restart unfinished shards "
+                        "from their checkpoints")
+    p.add_argument("--heartbeat-timeout", type=float, default=None,
+                   metavar="T",
+                   help="declare a worker dead after T seconds of silence "
+                        "(default: process-death detection only)")
+    p.add_argument("--max-restarts", type=int, default=3,
+                   help="restart budget per shard before the campaign "
+                        "fails (default 3)")
+    p.add_argument("--inject-lane-fault", action="append", default=[],
+                   metavar="CYCLE:LANE[:REASON]",
+                   help="deterministically quarantine a global LANE at "
+                        "CYCLE (repeatable; routed to the owning shard)")
+    p.add_argument("--inject-worker-crash", action="append", default=[],
+                   metavar="SHARD:CYCLE",
+                   help="SIGKILL the worker running SHARD after CYCLE "
+                        "cycles, first attempt only (repeatable)")
+    p.add_argument("--fault-report", default=None, metavar="PATH",
+                   help="write the merged campaign fault-report JSON here")
+    add_telemetry_args(p)
+    p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser("designs", help="list bundled designs")
     p.set_defaults(fn=cmd_designs)

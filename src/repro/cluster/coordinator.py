@@ -1,0 +1,425 @@
+"""The campaign coordinator: shard scheduling, liveness, crash recovery.
+
+The coordinator owns a pool of spawn-started worker processes and a
+work queue of lane shards (more shards than workers — see
+:func:`~repro.cluster.spec.plan_shards`).  Shards are dispatched to
+whichever worker frees up first, so a slow shard never staggers the
+rest of the campaign behind it.
+
+Failure handling, layered on PR 4's resilience machinery:
+
+* **Worker death** (SIGKILL, OOM, segfault): detected by process exit
+  while a shard is in flight.  The shard is re-queued and a fresh worker
+  is spawned; the retry resumes from the shard's own durable
+  :class:`~repro.resilience.CheckpointManager` checkpoint when one
+  exists (from scratch otherwise — same merged result either way, the
+  checkpoint only saves recomputation).  A shard that keeps killing its
+  workers exhausts ``max_restarts`` and fails the campaign.
+* **Worker silence**: heartbeats ride the shared result queue; an
+  optional ``heartbeat_timeout`` declares a silent worker dead and
+  forcibly terminates it (off by default — process death detection is
+  the primary signal).
+* **Coordinator death**: each completed shard's payload is persisted
+  atomically under ``checkpoint_dir`` (``result-shard-NNNN.pkl``);
+  ``resume=True`` reloads completed shards instantly and restarts only
+  unfinished ones from their shard checkpoints.  Persisted results are
+  tied to the campaign's :meth:`~repro.cluster.spec.CampaignSpec.signature`
+  so a changed spec can never silently mix stale lanes in.
+* **Deterministic worker errors** (bad design, simulation error): fail
+  the campaign immediately — rerunning a deterministic failure burns
+  restarts without changing the outcome.
+
+Caveat (documented in docs/cluster.md): with ``spec.coverage`` enabled,
+retried/resumed shards rerun from cycle 0 instead of their checkpoint —
+toggle-coverage state is not checkpointed, and a partial rerun would
+undercount the merged report.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue as queue_mod
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.cluster.merge import CampaignResult, ShardOutcome, merge_payloads
+from repro.cluster.spec import CampaignSpec, ShardSpec, plan_shards
+from repro.cluster.worker import PAYLOAD_SCHEMA, run_shard_inline, worker_main
+from repro.resilience.checkpoint import atomic_write_bytes
+from repro.utils.errors import ClusterError
+
+__all__ = ["CampaignCoordinator", "run_campaign"]
+
+_POLL_S = 0.1
+
+
+class _Worker:
+    """Coordinator-side handle for one worker process."""
+
+    __slots__ = ("id", "process", "task_q", "current", "last_seen")
+
+    def __init__(self, id: int, process, task_q):
+        self.id = id
+        self.process = process
+        self.task_q = task_q
+        self.current: Optional[dict] = None  # in-flight task, if any
+        self.last_seen = time.monotonic()
+
+
+class CampaignCoordinator:
+    """Splits one campaign into lane shards and runs them out of process.
+
+    ``stimulus`` may be an explicit batch (``StimulusBatch`` or, for the
+    no-decode handoff, ``TextStimulusBatch``); the coordinator slices it
+    per shard with ``.lanes(lo, hi)`` and ships the slice inside the task
+    message.  Without it, workers regenerate stimulus from the spec's
+    seed and slice locally.
+
+    ``workers=0`` runs every shard inline in this process (no
+    multiprocessing; crash injection is ignored) — the same code path
+    end to end, handy for debugging and deterministic tests.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        workers: int = 2,
+        shard_lanes: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        stimulus=None,
+        inject_worker_crash: Optional[Dict[int, int]] = None,
+        heartbeat_seconds: float = 0.5,
+        heartbeat_timeout: Optional[float] = None,
+        max_restarts: int = 3,
+        start_method: str = "spawn",
+        metrics=None,
+        tracer=None,
+    ):
+        spec.validate()
+        if workers < 0:
+            raise ClusterError(f"worker count must be >= 0, got {workers}")
+        if resume and not checkpoint_dir:
+            raise ClusterError("resume=True requires a checkpoint_dir")
+        if stimulus is not None and getattr(stimulus, "n", spec.n) != spec.n:
+            raise ClusterError(
+                f"explicit stimulus has {stimulus.n} lanes, spec expects {spec.n}"
+            )
+        self.spec = spec
+        self.workers = workers
+        self.shards = plan_shards(spec.n, max(1, workers), shard_lanes)
+        self.checkpoint_dir = (
+            os.path.abspath(checkpoint_dir) if checkpoint_dir else None
+        )
+        self.resume = resume
+        self.stimulus = stimulus
+        self.inject_worker_crash = dict(inject_worker_crash or {})
+        self.heartbeat_seconds = heartbeat_seconds
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_restarts = max_restarts
+        self.start_method = start_method
+        self.metrics = metrics
+        self.tracer = tracer
+        self.restarts = 0
+        self._outcomes: Dict[int, ShardOutcome] = {
+            s.id: ShardOutcome(id=s.id, lo=s.lo, hi=s.hi, attempts=0)
+            for s in self.shards
+        }
+        bad = [sid for sid in self.inject_worker_crash
+               if sid not in self._outcomes]
+        if bad:
+            raise ClusterError(
+                f"inject_worker_crash targets unknown shard(s) {bad}; "
+                f"campaign has shards 0..{len(self.shards) - 1}"
+            )
+
+    # -- durable per-shard results ---------------------------------------------
+
+    def _result_path(self, shard_id: int) -> str:
+        assert self.checkpoint_dir is not None
+        return os.path.join(
+            self.checkpoint_dir, f"result-shard-{shard_id:04d}.pkl"
+        )
+
+    def _persist_payload(self, payload: dict) -> None:
+        if self.checkpoint_dir is None:
+            return
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        atomic_write_bytes(
+            self._result_path(payload["shard"][0]),
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def _load_persisted(self, shard: ShardSpec) -> Optional[dict]:
+        """A prior run's payload for ``shard``, if one is valid here.
+
+        Signature mismatch is an error (the directory belongs to a
+        different campaign); a geometry mismatch (same campaign, new
+        ``shard_lanes``) just recomputes the shard.
+        """
+        path = self._result_path(shard.id)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            return None  # truncated/corrupt: recompute the shard
+        if payload.get("schema") != PAYLOAD_SCHEMA:
+            return None
+        if payload.get("signature") != self.spec.signature():
+            raise ClusterError(
+                f"{path} was produced by a different campaign "
+                "(design/seed/geometry/fault script changed); refusing to "
+                "mix results — use a fresh --checkpoint-dir"
+            )
+        if tuple(payload.get("shard", ())) != (shard.id, shard.lo, shard.hi):
+            return None
+        return payload
+
+    # -- task construction -----------------------------------------------------
+
+    def _make_task(self, shard: ShardSpec, attempt: int) -> dict:
+        resume = (
+            (self.resume or attempt > 0)
+            and self.checkpoint_dir is not None
+            and not self.spec.coverage  # coverage is not checkpointed
+        )
+        crash = None
+        if attempt == 0:
+            crash = self.inject_worker_crash.get(shard.id)
+        return {
+            "shard": (shard.id, shard.lo, shard.hi),
+            "attempt": attempt,
+            "resume": resume,
+            "crash_cycle": crash,
+            "stimulus": (
+                self.stimulus.lanes(shard.lo, shard.hi)
+                if self.stimulus is not None else None
+            ),
+        }
+
+    def _worker_cfg(self) -> dict:
+        return {
+            "checkpoint_dir": self.checkpoint_dir,
+            "heartbeat_seconds": self.heartbeat_seconds,
+        }
+
+    # -- running ---------------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        t_start = time.monotonic()
+        done: Dict[int, dict] = {}
+        pending: deque = deque()
+        for shard in self.shards:
+            payload = (
+                self._load_persisted(shard)
+                if (self.resume and self.checkpoint_dir) else None
+            )
+            if payload is not None:
+                done[shard.id] = payload
+                out = self._outcomes[shard.id]
+                out.cached = True
+                out.cycles_run = payload.get("cycles_run", 0)
+            else:
+                pending.append((shard, 0))
+        if pending:
+            if self.workers == 0:
+                self._run_inline(pending, done)
+            else:
+                self._run_pool(pending, done)
+        result = self._merge(done)
+        result.wall_seconds = time.monotonic() - t_start
+        return result
+
+    def _run_inline(self, pending: deque, done: Dict[int, dict]) -> None:
+        cfg = self._worker_cfg()
+        while pending:
+            shard, attempt = pending.popleft()
+            task = self._make_task(shard, attempt)
+            task["crash_cycle"] = None  # never SIGKILL the caller
+            payload = run_shard_inline(self.spec, task, cfg)
+            self._complete(shard.id, payload, done)
+
+    def _run_pool(self, pending: deque, done: Dict[int, dict]) -> None:
+        total = len(done) + len(pending)
+        ctx = mp.get_context(self.start_method)
+        result_q = ctx.Queue()
+        alive: Dict[int, _Worker] = {}
+        spawned: List[_Worker] = []
+        next_id = 0
+
+        def spawn() -> _Worker:
+            nonlocal next_id
+            task_q = ctx.Queue()
+            proc = ctx.Process(
+                target=worker_main,
+                args=(next_id, self.spec, task_q, result_q, self._worker_cfg()),
+                daemon=True,
+                name=f"repro-cluster-w{next_id}",
+            )
+            proc.start()
+            w = _Worker(next_id, proc, task_q)
+            alive[w.id] = w
+            spawned.append(w)
+            next_id += 1
+            return w
+
+        idle: deque = deque(
+            spawn() for _ in range(min(self.workers, len(pending)))
+        )
+        try:
+            while len(done) < total:
+                while idle and pending:
+                    w = idle.popleft()
+                    shard, attempt = pending.popleft()
+                    task = self._make_task(shard, attempt)
+                    w.current = task
+                    w.task_q.put(task)
+                self._pump_messages(result_q, alive, idle, done)
+                self._reap_dead(alive, idle, pending, spawn, done)
+                if self.heartbeat_timeout is not None:
+                    self._enforce_heartbeats(alive)
+        finally:
+            self._shutdown(spawned)
+
+    def _pump_messages(self, result_q, alive, idle, done) -> None:
+        """Drain the result queue: one timed get, then whatever is ready."""
+        block = True
+        while True:
+            try:
+                msg = result_q.get(timeout=_POLL_S if block else 0)
+            except queue_mod.Empty:
+                return
+            block = False
+            kind, wid = msg[0], msg[1]
+            w = alive.get(wid)
+            if w is not None:
+                w.last_seen = time.monotonic()
+            if kind == "heartbeat":
+                continue
+            if kind in ("ready", "started"):
+                continue
+            if kind == "result":
+                _kind, _wid, sid, payload = msg
+                if w is not None:
+                    w.current = None
+                    idle.append(w)
+                if sid not in done:  # a re-run raced its twin: first wins
+                    self._complete(sid, payload, done)
+                continue
+            if kind in ("error", "fatal"):
+                _kind, _wid, sid, text = msg
+                where = f"shard {sid}" if sid is not None else "startup"
+                raise ClusterError(
+                    f"worker {wid} failed deterministically at {where}: {text}"
+                )
+
+    def _reap_dead(self, alive, idle, pending, spawn, done) -> None:
+        for wid in [w for w in alive if alive[w].process.exitcode is not None]:
+            w = alive.pop(wid)
+            try:
+                idle.remove(w)
+            except ValueError:
+                pass
+            task = w.current
+            if task is not None:
+                sid = task["shard"][0]
+                if sid not in done:
+                    attempt = task["attempt"] + 1
+                    if attempt > self.max_restarts:
+                        raise ClusterError(
+                            f"shard {sid} killed {attempt} worker(s) "
+                            f"(max_restarts={self.max_restarts}); giving up"
+                        )
+                    shard = self.shards[sid]
+                    pending.appendleft((shard, attempt))
+                    self.restarts += 1
+            if pending:
+                idle.append(spawn())
+
+    def _enforce_heartbeats(self, alive) -> None:
+        now = time.monotonic()
+        for w in alive.values():
+            if (
+                w.current is not None
+                and now - w.last_seen > self.heartbeat_timeout
+            ):
+                # Silent but alive: force the crash path to reclaim the
+                # shard (the reap on the next loop iteration requeues it).
+                w.process.terminate()
+
+    def _complete(self, shard_id: int, payload: dict, done: Dict[int, dict]):
+        if payload.get("signature") != self.spec.signature():
+            raise ClusterError(
+                f"shard {shard_id} returned a result for a different "
+                "campaign signature"
+            )
+        done[shard_id] = payload
+        self._persist_payload(payload)
+        out = self._outcomes[shard_id]
+        out.attempts = payload.get("attempt", 0) + 1
+        out.cycles_run = payload.get("cycles_run", 0)
+        out.resumed_from = payload.get("resumed_from", 0)
+        out.wall_seconds = payload.get("wall_seconds", 0.0)
+        out.pid = payload.get("pid")
+
+    def _shutdown(self, spawned: List[_Worker]) -> None:
+        for w in spawned:
+            if w.process.exitcode is None:
+                try:
+                    w.task_q.put(None)
+                except Exception:
+                    pass
+        deadline = time.monotonic() + 5.0
+        for w in spawned:
+            w.process.join(timeout=max(0.1, deadline - time.monotonic()))
+        for w in spawned:
+            if w.process.exitcode is None:
+                w.process.terminate()
+                w.process.join(timeout=1.0)
+            if w.process.exitcode is None:
+                w.process.kill()
+
+    # -- merging ---------------------------------------------------------------
+
+    def _merge(self, done: Dict[int, dict]) -> CampaignResult:
+        result = merge_payloads(
+            self.spec, list(done.values()),
+            metrics=self.metrics, tracer=self.tracer,
+        )
+        result.shards = [self._outcomes[s.id] for s in self.shards]
+        result.restarts = self.restarts
+        result.workers = self.workers
+        m = result.metrics
+        m.set_gauge("cluster.workers", self.workers)
+        m.set_gauge("cluster.shards", len(self.shards))
+        m.set_gauge("cluster.lanes", self.spec.n)
+        if self.restarts:
+            m.inc("cluster.worker_restarts", self.restarts)
+        cached = sum(1 for o in result.shards if o.cached)
+        if cached:
+            m.inc("cluster.shards_resumed_from_results", cached)
+        for o in result.shards:
+            if not o.cached:
+                m.observe("cluster.shard_wall_seconds", o.wall_seconds)
+        # Forward into the session telemetry (the CLI's --metrics-json /
+        # --trace-json capture) when it is listening.
+        session = obs.get_metrics()
+        if session.enabled and session is not m:
+            session.merge(m)
+        gt = obs.get_tracer()
+        if gt.enabled and gt is not result.tracer:
+            for s in result.tracer.spans:
+                gt.record(s.name, s.start, s.end,
+                          resource=s.resource, depth=s.depth)
+        return result
+
+
+def run_campaign(spec: CampaignSpec, **kwargs) -> CampaignResult:
+    """Build a :class:`CampaignCoordinator` and run it (one-call API)."""
+    return CampaignCoordinator(spec, **kwargs).run()

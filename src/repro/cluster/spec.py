@@ -1,0 +1,153 @@
+"""Serializable campaign description + the lane-shard planner.
+
+A :class:`CampaignSpec` is the *whole* contract between the coordinator
+and its worker processes: plain picklable data (a bundled design name or
+raw Verilog text, batch geometry, executor kind, fault/checkpoint
+options) from which every worker rebuilds its own compiled design.
+Nothing compiled ever crosses a process boundary — kernels are plain
+Python functions created by ``exec`` and cannot be pickled, and spawn
+(the portable, fork-safety-free start method) would reject them anyway.
+
+:func:`plan_shards` carves the batch's lane axis into shards.  Shards
+deliberately outnumber workers (default 4x oversubscription) so the
+work-queue scheduler keeps every worker busy even when shards finish at
+different speeds — one slow shard delays only itself, not the campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.utils.errors import ClusterError
+
+__all__ = ["CampaignSpec", "ShardSpec", "plan_shards", "DEFAULT_OVERSUBSCRIPTION"]
+
+# Shards per worker when no explicit --shard-lanes is given: enough
+# slack for dynamic load balancing, few enough that per-shard setup
+# (simulator construction, stimulus slicing) stays negligible.
+DEFAULT_OVERSUBSCRIPTION = 4
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous lane range [lo, hi) of the campaign batch."""
+
+    id: int
+    lo: int
+    hi: int
+
+    @property
+    def n(self) -> int:
+        return self.hi - self.lo
+
+
+@dataclass
+class CampaignSpec:
+    """Everything a worker needs to rebuild and run one campaign.
+
+    Exactly one of ``design`` (a bundled design name, see
+    ``repro designs``) or ``source``+``top`` (raw Verilog) must be set.
+    ``lane_faults`` are ``(cycle, global_lane, reason)`` triples — the
+    coordinator routes each to the shard owning that lane, where it is
+    re-based to the shard-local lane index.
+
+    Workers regenerate stimulus from ``seed`` (the bundle's stimulus
+    recipe, or ``RTLFlow.random_stimulus`` for raw sources) and slice
+    their own lane range, so a sharded campaign consumes lane-for-lane
+    the same stimulus as a single-process run.  Explicit stimulus objects
+    are instead sliced by the coordinator and shipped with each task (see
+    ``CampaignCoordinator``).
+    """
+
+    n: int
+    cycles: int
+    design: Optional[str] = None
+    source: Optional[str] = None
+    top: Optional[str] = None
+    seed: int = 0
+    executor: str = "graph"
+    watch: Optional[List[str]] = None
+    stop: Optional[str] = None
+    stop_mode: str = "all"
+    stop_check_every: int = 16
+    trace_every: int = 0
+    fault_isolation: bool = False
+    lane_faults: List[Tuple[int, int, str]] = field(default_factory=list)
+    coverage: bool = False
+    coverage_ports_only: bool = False
+    checkpoint_every: Optional[int] = None
+    checkpoint_every_seconds: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.n <= 0:
+            raise ClusterError(f"campaign batch size must be positive, got {self.n}")
+        if self.cycles <= 0:
+            raise ClusterError(f"campaign cycles must be positive, got {self.cycles}")
+        if (self.design is None) == (self.source is None):
+            raise ClusterError(
+                "set exactly one of spec.design (bundled name) or "
+                "spec.source+spec.top (raw Verilog)"
+            )
+        if self.source is not None and not self.top:
+            raise ClusterError("spec.source requires spec.top")
+        for cycle, lane, _reason in self.lane_faults:
+            if not (0 <= lane < self.n):
+                raise ClusterError(
+                    f"lane fault targets lane {lane}, outside batch of {self.n}"
+                )
+            if cycle < 0:
+                raise ClusterError(f"lane fault cycle must be >= 0, got {cycle}")
+
+    def signature(self) -> str:
+        """Fingerprint tying durable shard results to this exact campaign.
+
+        Covers every field that changes simulation results, so a
+        ``--resume`` can never silently mix persisted shard results from
+        a different design, seed, geometry or fault script.
+        """
+        payload = asdict(self)
+        payload["lane_faults"] = sorted(
+            (int(c), int(l), str(r)) for c, l, r in self.lane_faults
+        )
+        h = hashlib.sha256()
+        for key in sorted(payload):
+            h.update(f"{key}={payload[key]!r};".encode())
+        return h.hexdigest()
+
+    def shard_faults(self, shard: ShardSpec) -> List[Tuple[int, int, str]]:
+        """This shard's lane faults, re-based to shard-local lane indices."""
+        return [
+            (cycle, lane - shard.lo, reason)
+            for cycle, lane, reason in self.lane_faults
+            if shard.lo <= lane < shard.hi
+        ]
+
+
+def plan_shards(
+    n: int,
+    workers: int,
+    shard_lanes: Optional[int] = None,
+    oversubscription: int = DEFAULT_OVERSUBSCRIPTION,
+) -> List[ShardSpec]:
+    """Split ``n`` lanes into contiguous shards for ``workers`` processes.
+
+    With an explicit ``shard_lanes``, shards are that many lanes (the
+    last one smaller).  Otherwise the planner sizes shards dynamically:
+    about ``workers * oversubscription`` shards, so the work queue always
+    holds spare shards for whichever worker frees up first.
+    """
+    if n <= 0:
+        raise ClusterError(f"cannot shard a batch of {n} lanes")
+    if workers <= 0:
+        raise ClusterError(f"worker count must be positive, got {workers}")
+    if shard_lanes is None:
+        shard_lanes = max(1, math.ceil(n / (workers * max(1, oversubscription))))
+    if shard_lanes <= 0:
+        raise ClusterError(f"shard_lanes must be positive, got {shard_lanes}")
+    shards = []
+    for k, lo in enumerate(range(0, n, shard_lanes)):
+        shards.append(ShardSpec(id=k, lo=lo, hi=min(lo + shard_lanes, n)))
+    return shards

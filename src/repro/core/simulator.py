@@ -478,6 +478,7 @@ class BatchSimulator:
         checkpoint=None,
         fault_plan=None,
         start_cycle: int = 0,
+        progress: Optional[Callable[[int], None]] = None,
     ) -> Dict[str, np.ndarray]:
         """Run a batch stimulus.
 
@@ -505,6 +506,12 @@ class BatchSimulator:
         faults are injected at their scripted cycles; ``start_cycle``
         skips the first cycles of the stimulus (resume: pass the restored
         ``cycles_run``).
+
+        ``progress`` is called with the cycle index after every completed
+        cycle (after a due checkpoint has been written, before stop/dead
+        polling breaks the loop) — the hook the cluster worker uses for
+        heartbeats, per-cycle coverage sampling and crash injection.  It
+        must not mutate simulation state.
         """
         names = list(watch) if watch is not None else [
             s.name for s in self.model.design.outputs
@@ -539,6 +546,8 @@ class BatchSimulator:
                     traces[n].append(self.get(n).copy())
             if checkpoint is not None:
                 checkpoint.maybe_save(self)
+            if progress is not None:
+                progress(c)
             if self.quarantine is not None and not self.quarantine.any_active:
                 # Every lane is dead: nothing left that can make progress
                 # (or assert / block a stop signal).  Bail out rather than

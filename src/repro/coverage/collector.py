@@ -56,6 +56,18 @@ class CoverageCollector:
     def sample(self) -> None:
         self.toggle.sample({n: self.sim.get(n) for n in self.toggle.widths})
 
+    def merge(self, other: "CoverageCollector") -> "CoverageCollector":
+        """Fold another collector's coverage in (cross-shard merge).
+
+        The collectors must watch the same signal set (e.g. two shards of
+        one campaign, built from the same design with the same options).
+        Lane counts add and cycles take the max, so merging every shard's
+        collector equals the whole-batch collector — see
+        :meth:`ToggleCoverage.merge`.
+        """
+        self.toggle.merge(other.toggle)
+        return self
+
     def report(self) -> CoverageReport:
         return self.toggle.report()
 

@@ -61,6 +61,30 @@ class CoverageReport:
                     bit += 1
         return out
 
+    def merge_lanes(self, other: "CoverageReport") -> "CoverageReport":
+        """Merge coverage of disjoint lane shards of **one** campaign.
+
+        Shards simulate the same cycles concurrently over different
+        lanes, so cycles take the max and lane counts add — the merged
+        report of a sharded run equals the whole-batch report (cf.
+        :meth:`merge`, which concatenates *sequential* campaigns and
+        therefore sums cycles).
+        """
+        if self.widths and other.widths and self.widths != other.widths:
+            raise SimulationError("cannot merge coverage of different signal sets")
+        merged = CoverageReport(
+            rise=dict(self.rise),
+            fall=dict(self.fall),
+            widths=dict(self.widths or other.widths),
+            cycles=max(self.cycles, other.cycles),
+            lanes=self.lanes + other.lanes,
+        )
+        for name, m in other.rise.items():
+            merged.rise[name] = merged.rise.get(name, 0) | m
+        for name, m in other.fall.items():
+            merged.fall[name] = merged.fall.get(name, 0) | m
+        return merged
+
     def merge(self, other: "CoverageReport") -> "CoverageReport":
         """Merge coverage from another campaign (e.g. another batch)."""
         if self.widths and other.widths and self.widths != other.widths:
@@ -116,6 +140,24 @@ class ToggleCoverage:
             self._prev[name] = cur.copy()
             self.lanes = max(self.lanes, cur.shape[0] if cur.ndim else 1)
         self.cycles += 1
+
+    def merge(self, other: "ToggleCoverage") -> "ToggleCoverage":
+        """Fold another collector's accumulated masks in (lane shards).
+
+        Both collectors must watch the same signal set.  Covered-bit
+        masks OR together; cycles take the max and lanes add (the shards
+        of one campaign run the same cycles over disjoint lanes), so
+        merging every shard of a sharded run reproduces the whole-batch
+        collector state exactly.
+        """
+        if self.widths != other.widths:
+            raise SimulationError("cannot merge coverage of different signal sets")
+        for name in self.widths:
+            self._rise[name] |= other._rise[name]
+            self._fall[name] |= other._fall[name]
+        self.cycles = max(self.cycles, other.cycles)
+        self.lanes += other.lanes
+        return self
 
     def report(self) -> CoverageReport:
         widths = dict(self.widths)

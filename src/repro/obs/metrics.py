@@ -96,6 +96,32 @@ class Histogram:
             if len(self.samples) < self.max_samples:
                 self.samples.append(v)
 
+    def merge_from(
+        self,
+        count: int,
+        total: float,
+        vmin: float,
+        vmax: float,
+        samples: List[float],
+    ) -> None:
+        """Fold another histogram's state in (cross-shard aggregation).
+
+        Exact for count/sum/min/max; the sample reservoir keeps whatever
+        fits under this histogram's ``max_samples`` bound, so merged
+        percentiles stay an approximation just like single-registry ones.
+        """
+        with self._lock:
+            self.count += count
+            self.sum += total
+            if count:
+                if vmin < self.min:
+                    self.min = vmin
+                if vmax > self.max:
+                    self.max = vmax
+            room = self.max_samples - len(self.samples)
+            if room > 0:
+                self.samples.extend(float(s) for s in samples[:room])
+
     def percentile(self, q: float) -> float:
         """Percentile (0..100) over the retained samples."""
         with self._lock:
@@ -174,6 +200,97 @@ class MetricsRegistry:
     def observe(self, name: str, value: Number) -> None:
         if self.enabled:
             self.histogram(name).observe(value)
+
+    # -- aggregation -------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Aggregate ``other``'s instruments into this registry.
+
+        The cross-shard/cross-process merge of :mod:`repro.cluster`:
+        counters add (``sim.cycles`` from every worker sums to the
+        campaign total), gauges take ``other``'s value (last write wins —
+        merge order decides ties), histograms fold count/sum/min/max
+        exactly and append the other reservoir's samples up to this
+        histogram's ``max_samples``.
+
+        Same-named instruments aggregate instead of colliding, and locks
+        are taken one instrument at a time — never the registry lock and
+        an instrument lock together, and never two registries' locks at
+        once on the read side — so merging live registries cannot
+        deadlock.  Works regardless of either registry's ``enabled`` flag
+        (aggregation is an offline operation, not a hot-path record).
+        """
+        if other is self:
+            raise ValueError("cannot merge a registry into itself")
+        with other._lock:
+            counters = list(other._counters.items())
+            gauges = list(other._gauges.items())
+            histograms = list(other._histograms.items())
+        for name, c in counters:
+            with c._lock:
+                value = c.value
+            mine = self.counter(name, c.help)
+            with mine._lock:
+                mine.value += value
+        for name, g in gauges:
+            with g._lock:
+                value = g.value
+            self.gauge(name, g.help).set(value)
+        for name, h in histograms:
+            with h._lock:
+                count, total = h.count, h.sum
+                vmin, vmax = h.min, h.max
+                samples = list(h.samples)
+            self.histogram(name, h.help, h.max_samples).merge_from(
+                count, total, vmin, vmax, samples
+            )
+        return self
+
+    def dump(self) -> dict:
+        """Full, pickle/JSON-safe state for cross-process shipping.
+
+        Unlike :meth:`snapshot` (a human/CI-facing summary), ``dump``
+        keeps histogram reservoirs raw so :meth:`from_dump` +
+        :meth:`merge` aggregate per-worker registries losslessly.
+        """
+        with self._lock:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            histograms = list(self._histograms.items())
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, c in counters:
+            with c._lock:
+                out["counters"][name] = {"value": c.value, "help": c.help}
+        for name, g in gauges:
+            with g._lock:
+                out["gauges"][name] = {"value": g.value, "help": g.help}
+        for name, h in histograms:
+            with h._lock:
+                out["histograms"][name] = {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min,
+                    "max": h.max,
+                    "max_samples": h.max_samples,
+                    "samples": list(h.samples),
+                    "help": h.help,
+                }
+        return out
+
+    @classmethod
+    def from_dump(cls, dump: dict) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`dump` payload."""
+        reg = cls(enabled=True)
+        for name, d in dump.get("counters", {}).items():
+            reg.counter(name, d.get("help", "")).value = d["value"]
+        for name, d in dump.get("gauges", {}).items():
+            reg.gauge(name, d.get("help", "")).value = d["value"]
+        for name, d in dump.get("histograms", {}).items():
+            h = reg.histogram(name, d.get("help", ""),
+                              d.get("max_samples", 4096))
+            h.merge_from(d["count"], d["sum"], d["min"], d["max"],
+                         d.get("samples", []))
+        return reg
 
     # -- export ------------------------------------------------------------------
 

@@ -151,6 +151,26 @@ class TextStimulusBatch:
     def inputs_at(self, cycle: int) -> Dict[str, np.ndarray]:
         return self.inputs_at_range(cycle, 0, self.n)
 
+    def lanes(self, lo: int, hi: int) -> "TextStimulusBatch":
+        """Slice lanes [lo, hi) **without decoding**.
+
+        The shard handoff path of :mod:`repro.cluster`: the coordinator
+        carves a text-format batch into per-shard slices by moving raw
+        line lists around; the hex parsing still happens lane-by-lane in
+        the worker's ``inputs_at_range`` (the Fig. 2 ``set_inputs`` cost
+        stays on the worker, not the coordinator).
+        """
+        if not (0 <= lo < hi <= self.n):
+            raise SimulationError(
+                f"invalid lane range [{lo}, {hi}) for {self.n} lanes"
+            )
+        out = TextStimulusBatch.__new__(TextStimulusBatch)
+        out.names = list(self.names) if self.names is not None else None
+        out._lines = self._lines[lo:hi]
+        out.cycles = self.cycles
+        out.n = hi - lo
+        return out
+
     def inputs_at_range(self, cycle: int, lo: int, hi: int) -> Dict[str, np.ndarray]:
         assert self.names is not None
         cols = len(self.names)

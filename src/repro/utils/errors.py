@@ -99,6 +99,12 @@ class ResilienceError(ReproError):
     """Base class for fault-tolerance failures (checkpointing, watchdogs)."""
 
 
+class ClusterError(ReproError):
+    """A sharded multi-process campaign failed: a worker raised a
+    deterministic error, a shard exhausted its restart budget, or merged
+    shard results are inconsistent (see :mod:`repro.cluster`)."""
+
+
 class CheckpointError(ResilienceError):
     """A durable checkpoint could not be written, read, or restored."""
 
