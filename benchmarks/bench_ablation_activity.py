@@ -144,17 +144,37 @@ def _uniform_stim(n: int, cycles: int, activity: float, seed: int = 0):
     return StimulusBatch({"rst": rst, "en": en})
 
 
-def _batch_time(model, n, stim, executor, repeats):
+def _batch_times(model, n, stim, executors, repeats):
+    """Fair comparative timing of batch executors.
+
+    Two fairness rules (the old ``_batch_time`` violated both):
+
+    * **per-variant warm-up** — each executor gets one untimed run first,
+      so one-time costs (``compile()`` of generated source, numpy/cache
+      warm-up, lazy imports) are paid by every variant, not just charged
+      to whichever ran first;
+    * **interleaved repeats** — repeat ``r`` runs every executor back to
+      back before repeat ``r+1``, so drift on a shared runner (thermal
+      throttling, noisy neighbours) hits all variants alike instead of
+      biasing the fixed back-to-back order.
+
+    Returns ``{executor: (best_seconds, last_sim)}``.
+    """
     from repro.core.simulator import BatchSimulator
 
-    best, sim = None, None
+    out = {ex: [None, None] for ex in executors}
+    for ex in executors:  # warm-up: untimed, fresh sim
+        BatchSimulator(model, n, executor=ex).run(stim)
     for _ in range(repeats):
-        sim = BatchSimulator(model, n, executor=executor)
-        t0 = time.perf_counter()
-        sim.run(stim)
-        dt = time.perf_counter() - t0
-        best = dt if best is None else min(best, dt)
-    return best, sim
+        for ex in executors:
+            sim = BatchSimulator(model, n, executor=ex)
+            t0 = time.perf_counter()
+            sim.run(stim)
+            dt = time.perf_counter() - t0
+            slot = out[ex]
+            slot[0] = dt if slot[0] is None else min(slot[0], dt)
+            slot[1] = sim
+    return {ex: (best, sim) for ex, (best, sim) in out.items()}
 
 
 def run_activity_sweep(
@@ -173,11 +193,18 @@ def run_activity_sweep(
     for activity in activities:
         stim = _uniform_stim(n, cycles, activity)
         rec = {"activity": activity}
-        t_full, _ = _batch_time(model, n, stim, "graph", repeats)
-        t_cond, sim = _batch_time(model, n, stim, "graph-conditional", repeats)
+        timed = _batch_times(
+            model, n, stim,
+            ("graph", "graph-conditional", "graph-fused"), repeats,
+        )
+        t_full, _ = timed["graph"]
+        t_cond, sim = timed["graph-conditional"]
+        t_fused, _ = timed["graph-fused"]
         rec["batch_full_seconds"] = t_full
         rec["batch_conditional_seconds"] = t_cond
+        rec["batch_fused_seconds"] = t_fused
         rec["conditional_over_full"] = t_cond / t_full
+        rec["fused_over_full"] = t_fused / t_full
         rec["skip_rate"] = sim.executor.skip_rate
         if include_event_driven:
             # One lane through the scalar event-driven engine, scaled to
@@ -233,7 +260,9 @@ def main(argv=None) -> int:
             f"  activity={rec['activity']:<5} "
             f"full={rec['batch_full_seconds'] * 1e3:7.1f}ms "
             f"cond={rec['batch_conditional_seconds'] * 1e3:7.1f}ms "
-            f"ratio={rec['conditional_over_full']:.3f} "
+            f"fused={rec['batch_fused_seconds'] * 1e3:7.1f}ms "
+            f"cond/full={rec['conditional_over_full']:.3f} "
+            f"fused/full={rec['fused_over_full']:.3f} "
             f"skip={rec['skip_rate']:.3f}"
         )
     return 0
@@ -243,8 +272,9 @@ def test_conditional_executor_beats_full_batch_at_low_activity(counter):
     model = counter.flow.compile()
     n = 4096
     stim = _uniform_stim(n, 200, 0.05)
-    t_full, _ = _batch_time(model, n, stim, "graph", repeats=3)
-    t_cond, sim = _batch_time(model, n, stim, "graph-conditional", repeats=3)
+    timed = _batch_times(model, n, stim, ("graph", "graph-conditional"), 3)
+    t_full, _ = timed["graph"]
+    t_cond, sim = timed["graph-conditional"]
     assert sim.executor.skip_rate > 0.5, sim.executor.skip_rate
     assert t_cond < t_full, (t_cond, t_full)
 
@@ -253,8 +283,9 @@ def test_conditional_executor_near_parity_at_full_activity(counter):
     model = counter.flow.compile()
     n = 4096
     stim = _uniform_stim(n, 200, 1.0)
-    t_full, _ = _batch_time(model, n, stim, "graph", repeats=3)
-    t_cond, _ = _batch_time(model, n, stim, "graph-conditional", repeats=3)
+    timed = _batch_times(model, n, stim, ("graph", "graph-conditional"), 3)
+    t_full, _ = timed["graph"]
+    t_cond, _ = timed["graph-conditional"]
     # Acceptance bound is 10%; leave headroom for shared-runner noise.
     assert t_cond < t_full * 1.25, (t_cond, t_full)
 
@@ -271,6 +302,8 @@ def test_sweep_report_shape(tmp_path, counter):
     assert [r["activity"] for r in loaded["results"]] == [0.1, 1.0]
     for rec in loaded["results"]:
         assert rec["batch_conditional_seconds"] > 0
+        assert rec["batch_fused_seconds"] > 0
+        assert rec["fused_over_full"] > 0
         assert 0.0 <= rec["skip_rate"] <= 1.0
 
 

@@ -1,0 +1,171 @@
+"""Fusion bench: fused flat-program executor vs per-node graph replay.
+
+The ``graph-fused`` executor compiles each partition's kernel schedule
+into one straight-line generated program (docs/fusion.md) and stores
+1-bit signals bit-packed across the batch axis, so a simulated cycle is
+a single launch of a few fused kernels instead of hundreds of per-node
+dispatches.  This bench measures that end to end: for each design it
+times ``graph`` (per-node replay) against ``graph-fused`` under the
+fairness protocol of ``bench_ablation_activity._batch_times`` (per
+variant warm-up, interleaved repeats) and checks the two executors are
+**bit-identical** on every watched output before reporting a speedup.
+
+Running as a script writes ``BENCH_fusion.json`` at the repo root;
+``--smoke`` selects the reduced CI configuration.
+"""
+
+import argparse
+import json
+import os
+
+import numpy as np
+import pytest
+
+from benchmarks.bench_ablation_activity import _batch_times, _uniform_stim
+from benchmarks.common import load_design
+from repro.resilience import atomic_write_json
+from repro.stimulus.generator import random_batch
+
+DESIGNS = ("counter", "crypto", "spinal")
+EXECUTORS = ("graph", "graph-fused")
+
+
+def _design_stim(prep, n: int, cycles: int, seed: int = 0):
+    """Random stimulus for any registered design (reset held one cycle)."""
+    if prep.name == "counter":
+        return _uniform_stim(n, cycles, 1.0, seed=seed)
+    return random_batch(prep.graph.design, n, cycles, seed=seed)
+
+
+def _outputs(model, n, stim, executor):
+    from repro.core.simulator import BatchSimulator
+
+    sim = BatchSimulator(model, n, executor=executor)
+    sim.run(stim)
+    return {
+        s.name: np.asarray(sim.get(s.name)).copy()
+        for s in model.design.outputs
+    }
+
+
+def check_bit_identity(model, n, stim):
+    """Assert fused output batches equal the unfused executor's, bit for bit."""
+    base = _outputs(model, n, stim, "graph")
+    fused = _outputs(model, n, stim, "graph-fused")
+    for name, want in base.items():
+        got = fused[name]
+        if not np.array_equal(want, got):
+            bad = int(np.flatnonzero(want != got)[0])
+            raise AssertionError(
+                f"fused executor diverged on output {name!r} at lane {bad}: "
+                f"{want[bad]!r} != {got[bad]!r}"
+            )
+    return sorted(base)
+
+
+def run_fusion_bench(n: int = 8192, cycles: int = 300, repeats: int = 3,
+                     designs=DESIGNS):
+    """Time graph vs graph-fused per design; returns the report payload."""
+    results = []
+    for name in designs:
+        prep = load_design(name)
+        model = prep.flow.compile()
+        stim = _design_stim(prep, n, cycles)
+        # Identity check at a small ragged batch (exercises tail-bit
+        # handling) so the check never dominates the timed portion.
+        n_check = min(n, 257)
+        checked = check_bit_identity(
+            model, n_check, _design_stim(prep, n_check, cycles))
+        timed = _batch_times(model, n, stim, EXECUTORS, repeats)
+        t_full, _ = timed["graph"]
+        t_fused, _ = timed["graph-fused"]
+        results.append({
+            "design": name,
+            "batch_full_seconds": t_full,
+            "batch_fused_seconds": t_fused,
+            "fused_speedup": t_full / t_fused,
+            "bit_identical_outputs": checked,
+        })
+    return {
+        "bench": "fusion",
+        "n": n,
+        "cycles": cycles,
+        "repeats": repeats,
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="reduced CI configuration (small n, fewer cycles)")
+    ap.add_argument("--n", type=int, default=None)
+    ap.add_argument("--cycles", type=int, default=None)
+    ap.add_argument("--repeats", type=int, default=None)
+    ap.add_argument("--designs", nargs="*", default=None)
+    ap.add_argument("--out", default=os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_fusion.json",
+    ))
+    args = ap.parse_args(argv)
+    if args.smoke:
+        n, cycles, repeats = 1024, 100, 2
+    else:
+        n, cycles, repeats = 8192, 300, 3
+    payload = run_fusion_bench(
+        n=args.n or n,
+        cycles=args.cycles or cycles,
+        repeats=args.repeats or repeats,
+        designs=tuple(args.designs) if args.designs else DESIGNS,
+    )
+    atomic_write_json(args.out, payload)
+    print(f"wrote {args.out}")
+    for rec in payload["results"]:
+        print(
+            f"  {rec['design']:<10} "
+            f"full={rec['batch_full_seconds'] * 1e3:7.1f}ms "
+            f"fused={rec['batch_fused_seconds'] * 1e3:7.1f}ms "
+            f"speedup={rec['fused_speedup']:.2f}x"
+        )
+    return 0
+
+
+# -- tests --------------------------------------------------------------------
+
+
+def test_fusion_report_shape(tmp_path):
+    payload = run_fusion_bench(n=128, cycles=30, repeats=1, designs=("counter",))
+    out = tmp_path / "BENCH_fusion.json"
+    atomic_write_json(str(out), payload)
+    loaded = json.loads(out.read_text())
+    assert loaded["bench"] == "fusion"
+    (rec,) = loaded["results"]
+    assert rec["design"] == "counter"
+    assert rec["batch_fused_seconds"] > 0
+    assert rec["fused_speedup"] > 0
+    assert rec["bit_identical_outputs"]
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+def test_fused_bit_identical_outputs(name):
+    prep = load_design(name)
+    model = prep.flow.compile()
+    stim = _design_stim(prep, 67, 25, seed=5)
+    assert check_bit_identity(model, 67, stim)
+
+
+def test_fused_faster_than_full_on_counter():
+    prep = load_design("counter")
+    model = prep.flow.compile()
+    n = 4096
+    stim = _uniform_stim(n, 200, 1.0)
+    timed = _batch_times(model, n, stim, EXECUTORS, 3)
+    t_full, _ = timed["graph"]
+    t_fused, _ = timed["graph-fused"]
+    # Acceptance criterion is 3x at n=8192; at this reduced size require a
+    # conservative win so the test stays robust on noisy shared runners.
+    assert t_fused < t_full, (t_fused, t_full)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

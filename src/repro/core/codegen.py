@@ -23,15 +23,18 @@ semantics match :func:`repro.baselines.reference.eval_expr` op for op
 
 from __future__ import annotations
 
+import hashlib
+import linecache
 import time
 from dataclasses import dataclass, field
+from types import CodeType
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.annotate import render_header
-from repro.core.indexmap import IndexMapper
-from repro.core.memory import MemoryLayout
+from repro.core.indexmap import IndexMapper, PackedIndexMapper
+from repro.core.memory import PACKED_POOL, MemoryLayout
 from repro.partition.merge import partition
 from repro.partition.taskgraph import TaskGraph
 from repro.partition.weights import WeightVector
@@ -42,6 +45,49 @@ from repro.verilog import ast_nodes as A
 
 _CMP = {"==": "==", "===": "==", "!=": "!=", "!==": "!=",
         "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+# Native-dtype emission tables (pool index order: var8..var64).
+_NATIVE_DT = ("u8", "u16", "u32", "u64")
+_NATIVE_BITS = (8, 16, 32, 64)
+
+
+def _dt_name(bits: int) -> str:
+    return _NATIVE_DT[_NATIVE_BITS.index(bits)]
+
+
+# Compiled-code-object cache, keyed by the content-addressed pseudo-
+# filename.  Cluster shards simulating the same design produce identical
+# generated source, so they share one compile() instead of recompiling
+# per shard; the digest in the filename also disambiguates tracebacks
+# and ``repro profile`` attribution when two models of the same top
+# coexist in one process.
+_CODE_CACHE: Dict[str, CodeType] = {}
+_CODE_CACHE_MAX = 128
+
+
+def compile_source(source: str, top: str, tag: str = "") -> CodeType:
+    """Compile generated kernel source under a content-addressed filename.
+
+    The pseudo-filename is ``<rtlflow:{top}[:tag]:{digest}>`` where the
+    digest hashes the full source, so two different designs sharing a
+    ``top`` name never alias in tracebacks, and identical designs reuse
+    the cached code object.  The source is registered with
+    :mod:`linecache` so tracebacks through generated kernels show the
+    offending generated line.
+    """
+    digest = hashlib.sha256(source.encode()).hexdigest()[:12]
+    label = f"{top}:{tag}" if tag else top
+    filename = f"<rtlflow:{label}:{digest}>"
+    code = _CODE_CACHE.get(filename)
+    if code is None:
+        if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
+            _CODE_CACHE.clear()
+        code = compile(source, filename, "exec")
+        _CODE_CACHE[filename] = code
+    linecache.cache[filename] = (
+        len(source), None, source.splitlines(True), filename
+    )
+    return code
 
 
 def _limbs(width: int) -> int:
@@ -302,6 +348,616 @@ class ExprCodegen:
         raise SimulationError(f"unknown binary op {op!r}")
 
 
+class FusedExprCodegen(ExprCodegen):
+    """Expression emission for fused flat programs (three tiers).
+
+    Tier 1 — *packed*: 1-bit expressions over lane-packed operands emit
+    word-level boolean ops on (W,) uint64 vectors (64 lanes per machine
+    op; see :mod:`repro.utils.packbits`).  Tier 2 — *native dtype*:
+    narrow expressions emit at their pool dtype (uint8/16/32/64) instead
+    of round-tripping every operand through ``astype(uint64)``; sound
+    because every emitted value is kept *exactly* equal to the reference
+    scalar value of :func:`repro.baselines.reference.eval_expr` at that
+    node (wrap-around ops require a compute dtype at least as wide as
+    the context, otherwise emission bails).  Tier 3 — fallback to the
+    inherited uint64 emission (wide values, division, dynamic shifts,
+    concats), with packed operands unpacked at the boundary by the
+    :class:`~repro.core.indexmap.PackedIndexMapper`.
+
+    Pure-constant subtrees are folded through ``eval_expr`` once at
+    transpile time (parameterized reset values like ``{W{1'b1}}``
+    otherwise replay a chain of scalar ops every cycle).
+    """
+
+    def __init__(self, mapper: IndexMapper, graph: RtlGraph):
+        super().__init__(mapper, graph)
+        self.layout = mapper.layout
+        self._fold_cache: Dict[int, Optional[int]] = {}
+        # Hoisted-subexpression statements (mask temporaries for the
+        # branchless muxes below).  The program generator drains these
+        # ahead of each node's store statement.
+        self._prelude: List[str] = []
+        self._tmp_n = 0
+
+    def _temp(self, code: str) -> str:
+        """Bind ``code`` to a fresh program-local temp (used >1 time)."""
+        name = f"_t{self._tmp_n}"
+        self._tmp_n += 1
+        self._prelude.append(f"{name} = {code}")
+        return name
+
+    def drain_prelude(self) -> List[str]:
+        out, self._prelude = self._prelude, []
+        return out
+
+    # -- constant folding -----------------------------------------------------
+
+    def _const_tree(self, e: A.Expr) -> bool:
+        if isinstance(e, A.Number):
+            return True
+        if isinstance(e, A.Unary):
+            return self._const_tree(e.operand)
+        if isinstance(e, A.Binary):
+            # ``**`` is excluded: a huge constant exponent would make the
+            # fold itself unbounded.
+            return (e.op != "**" and self._const_tree(e.left)
+                    and self._const_tree(e.right))
+        if isinstance(e, A.Ternary):
+            return (self._const_tree(e.cond) and self._const_tree(e.then)
+                    and self._const_tree(e.other))
+        if isinstance(e, A.Concat):
+            return all(self._const_tree(p) for p in e.parts)
+        if isinstance(e, A.Repeat):
+            return self._const_tree(e.value)
+        return False  # Ident / Index / PartSelect / ...
+
+    def _fold(self, e: A.Expr) -> Optional[int]:
+        """Reference-semantics value of a pure-constant subtree, else None."""
+        key = id(e)
+        if key in self._fold_cache:
+            return self._fold_cache[key]
+        val: Optional[int] = None
+        if self._const_tree(e):
+            from repro.baselines.reference import eval_expr
+            try:
+                val = int(eval_expr(e, {}, {}, {}))
+            except Exception:
+                val = None
+        self._fold_cache[key] = val
+        return val
+
+    def _has_ident(self, e: A.Expr) -> bool:
+        """True when the emitted value is guaranteed to be a batch array."""
+        if isinstance(e, (A.Ident, A.Index, A.PartSelect, A.IndexedPartSelect)):
+            return True
+        if isinstance(e, A.Unary):
+            return self._has_ident(e.operand)
+        if isinstance(e, A.Binary):
+            return self._has_ident(e.left) or self._has_ident(e.right)
+        if isinstance(e, A.Ternary):
+            return (self._has_ident(e.cond) or self._has_ident(e.then)
+                    or self._has_ident(e.other))
+        if isinstance(e, A.Concat):
+            return any(self._has_ident(p) for p in e.parts)
+        if isinstance(e, A.Repeat):
+            return self._has_ident(e.value)
+        return False
+
+    # -- tier 3: uint64 fallback with folding ---------------------------------
+
+    def _value(self, e: A.Expr):
+        if not isinstance(e, (A.Number, A.Ident)):
+            c = self._fold(e)
+            if c is not None:
+                L = _limbs(e.ctx_width)
+                if L == 1:
+                    return f"u64({c & ((1 << 64) - 1)})", 1
+                return f"wv.from_const({c}, {L}, N)", L
+        if isinstance(e, A.Ternary) and _limbs(e.ctx_width) == 1:
+            cf = self._fold(e.cond)
+            if cf is not None:
+                code, _ = self._value(e.then if cf else e.other)
+                return code, 1
+            mask = self._cond_mask(e.cond, 64)
+            if mask is None:  # wide condition: emit_bool it the base way
+                mask = (f"(u64(0) - (({self.emit_bool(e.cond)}) != 0)"
+                        f".view(u8))")
+            # A constant-zero branch drops out of the blend entirely
+            # (x & 0 == 0): common for reset muxes.
+            if self._fold(e.then) == 0:
+                m = self._temp(mask)
+                return f"(({self.emit(e.other)}) & ~{m})", 1
+            if self._fold(e.other) == 0:
+                m = self._temp(mask)
+                return f"(({self.emit(e.then)}) & {m})", 1
+            m = self._temp(mask)
+            t = self.emit(e.then)
+            f = self.emit(e.other)
+            return f"((({t}) & {m}) | (({f}) & ~{m}))", 1
+        return super()._value(e)
+
+    # -- tier 1: lane-packed 1-bit emission -----------------------------------
+
+    def emit_packed(self, e: A.Expr) -> Optional[str]:
+        """(W,) packed-word code for a 1-bit-valued expression, or None.
+
+        Invariant: a non-None result holds, per lane, exactly the 0/1
+        reference value of the expression (tail bits zero), so packed
+        subvalues compose under &, |, ^ and xnor without re-masking.
+        """
+        if _limbs(e.ctx_width) > 1:
+            return None
+        c = e.value if isinstance(e, A.Number) else self._fold(e)
+        if c is not None:
+            # Only canonical 0/1 constants are packable: a wider constant
+            # (e.g. 2'd2 drifting into a comparison) must keep its raw
+            # value, which the native/base tiers preserve.
+            if c == 0:
+                return "pk.zeros(N)"
+            if c == 1:
+                return "pk.ones(N)"
+            return None
+        if isinstance(e, A.Ident):
+            slot = self.layout.slots.get(e.name)
+            if slot is not None and slot.pool == PACKED_POOL:
+                return self.mapper.slice_of(slot)
+            return None
+        if isinstance(e, A.Unary):
+            if e.op == "!" or (e.op == "~" and e.ctx_width == 1):
+                x = self.emit_packed(e.operand)
+                if x is not None:
+                    return f"pk.not_({x}, N)"
+            if e.op == "!":
+                n = self.emit_native(e.operand)
+                if n is not None and self._has_ident(e.operand):
+                    return f"pk.pack_bool(({n[0]}) == 0, N)"
+            return None
+        if isinstance(e, A.Ternary):
+            cc = self.emit_packed(e.cond)
+            tc = self.emit_packed(e.then)
+            fc = self.emit_packed(e.other)
+            if cc is None or tc is None or fc is None:
+                return None
+            # (c & t) | (~c & f): tail-safe without re-masking because t
+            # and f have zero tails.
+            return f"((({cc}) & ({tc})) | (~({cc}) & ({fc})))"
+        if isinstance(e, A.Binary):
+            op = e.op
+            if op in ("&", "&&", "|", "||", "^"):
+                l = self.emit_packed(e.left)
+                r = self.emit_packed(e.right)
+                if l is not None and r is not None:
+                    sym = {"&": "&", "&&": "&", "|": "|", "||": "|",
+                           "^": "^"}[op]
+                    return f"(({l}) {sym} ({r}))"
+                if op in ("&&", "||"):
+                    ln = self.emit_native(e.left)
+                    rn = self.emit_native(e.right)
+                    if ln is not None and rn is not None and self._has_ident(e):
+                        sym = "&" if op == "&&" else "|"
+                        return (f"pk.pack_bool((({ln[0]}) != 0) {sym} "
+                                f"(({rn[0]}) != 0), N)")
+                return None
+            if op in ("~^", "^~") and e.ctx_width == 1:
+                l = self.emit_packed(e.left)
+                r = self.emit_packed(e.right)
+                if l is not None and r is not None:
+                    return f"pk.not_(({l}) ^ ({r}), N)"
+                return None
+            if op in ("==", "!="):
+                l = self.emit_packed(e.left)
+                r = self.emit_packed(e.right)
+                if l is not None and r is not None:
+                    x = f"(({l}) ^ ({r}))"
+                    return x if op == "!=" else f"pk.not_({x}, N)"
+            if op in _CMP:
+                ln = self.emit_native(e.left)
+                rn = self.emit_native(e.right)
+                if ln is not None and rn is not None and self._has_ident(e):
+                    return (f"pk.pack_bool(({ln[0]}) {_CMP[op]} "
+                            f"({rn[0]}), N)")
+            return None
+        return None
+
+    # -- tier 2: native-dtype emission ----------------------------------------
+
+    def _native_const(self, v: int, ctx_width: int):
+        if v < 0:
+            return None
+        nbits = max(v.bit_length(), 1)
+        if nbits > 64:
+            return None
+        for dt, bits in zip(_NATIVE_DT, _NATIVE_BITS):
+            if nbits <= bits:
+                return f"{dt}({v})", bits
+        return None  # pragma: no cover
+
+    def _native_load(self, name: str):
+        slot = self.layout.slots.get(name)
+        if slot is None:
+            return None
+        if slot.pool == PACKED_POOL:
+            return f"pk.unpack_u8({self.mapper.slice_of(slot)}, N)", 8
+        if slot.limbs != 1:
+            return None
+        return self.mapper.slice_of(slot), _NATIVE_BITS[slot.pool]
+
+    def emit_native(self, e: A.Expr, demand: Optional[int] = None):
+        """``(code, dtype_bits)`` at the smallest sound dtype, or None.
+
+        Two soundness modes, selected by ``demand``:
+
+        * ``demand=None`` (exact): the emitted batch value, viewed
+          zero-extended, equals the scalar ``eval_expr`` value of ``e``
+          per lane — so comparisons, shifts and truthiness on native
+          subvalues are always sound.
+        * ``demand=d``: only the low ``d`` bits are guaranteed (again
+          under the zero-extended view); physical bits at and above
+          ``d`` may hold wrap garbage.  This is the store path's mode —
+          a register of width ``w`` only keeps ``w`` bits, so ``+ - *``
+          chains compute at the *storage* dtype instead of widening to
+          the (often 32-bit integer) expression context.  Demand
+          propagates structurally: wrap and bitwise ops pass it through,
+          ``<<``/``>>`` shift it, and every exactness-sensitive consumer
+          (comparison operand, truthiness, dynamic-shift amount)
+          requests exact sub-emission.
+
+        Emission bails (returns None) whenever soundness would need a
+        compute dtype wider than uint64; the caller then falls back to
+        the uint64 tier.
+        """
+        if _limbs(e.ctx_width) > 1:
+            return None
+        if demand is not None and demand >= e.ctx_width:
+            demand = None  # an exact value satisfies any wider demand
+        c = self._fold(e)
+        if c is not None:
+            return self._native_const(c, e.ctx_width)
+        if isinstance(e, A.Number):
+            return self._native_const(e.value, e.ctx_width)
+        if isinstance(e, A.Ident):
+            return self._native_load(e.name)
+        if isinstance(e, A.Unary):
+            return self._native_unary(e, demand)
+        if isinstance(e, A.Binary):
+            return self._native_binary(e, demand)
+        if isinstance(e, A.Ternary):
+            cf = self._fold(e.cond)
+            if cf is not None:
+                return self.emit_native(e.then if cf else e.other, demand)
+            inc = self._native_inc_mux(e, demand)
+            if inc is not None:
+                return inc
+            # Constant-zero branch: the blend collapses to a single
+            # AND with the (possibly negated) mask — common for resets.
+            if self._fold(e.then) == 0:
+                f = self.emit_native(e.other, demand)
+                if f is None:
+                    return None
+                mask = self._cond_mask(e.cond, f[1])
+                if mask is None:
+                    return None
+                m = self._temp(mask)
+                return f"(({f[0]}) & ~{m})", f[1]
+            if self._fold(e.other) == 0:
+                t = self.emit_native(e.then, demand)
+                if t is None:
+                    return None
+                mask = self._cond_mask(e.cond, t[1])
+                if mask is None:
+                    return None
+                m = self._temp(mask)
+                return f"(({t[0]}) & {m})", t[1]
+            t = self.emit_native(e.then, demand)
+            f = self.emit_native(e.other, demand)
+            if t is None or f is None:
+                return None
+            bits = max(t[1], f[1])
+            mask = self._cond_mask(e.cond, bits)
+            if mask is None:
+                return None
+            # Branchless mux: (t & m) | (f & ~m) with an all-ones/zeros
+            # mask — bitwise selection, so demand-mode wrap garbage in
+            # the unread high bits stays harmless.  (np.where pays an
+            # order of magnitude more per element here.)
+            m = self._temp(mask)
+            return f"((({t[0]}) & {m}) | (({f[0]}) & ~{m}))", bits
+        if isinstance(e, A.PartSelect):
+            lsb = getattr(e, "_lsb_i")
+            loaded = self._native_load(e.base)
+            if loaded is None or loaded[1] == 8 and self._is_packed(e.base):
+                return None
+            code, bits = loaded
+            if lsb:
+                if lsb >= bits:
+                    return self._native_const(0, e.ctx_width)
+                code = f"(({code}) >> {lsb})"
+            slot = self.layout.slot(e.base)
+            if slot.width > lsb + e.width:
+                code = f"(({code}) & {_dt_name(bits)}({bv.mask(e.width)}))"
+            return code, bits
+        if isinstance(e, A.Index) and not e.is_memory:
+            idx = self._fold(e.index)
+            if idx is None:
+                return None
+            slot = self.layout.slots.get(e.base)
+            if slot is None or slot.limbs != 1:
+                return None
+            if idx >= slot.width:
+                return self._native_const(0, e.ctx_width)
+            if slot.pool == PACKED_POOL:  # 1-bit base, idx == 0
+                return self._native_load(e.base)
+            bits = _NATIVE_BITS[slot.pool]
+            code = self.mapper.slice_of(slot)
+            if idx:
+                code = f"(({code}) >> {idx})"
+            return f"(({code}) & {_dt_name(bits)}(1))", bits
+        return None
+
+    def _is_packed(self, name: str) -> bool:
+        slot = self.layout.slots.get(name)
+        return slot is not None and slot.pool == PACKED_POOL
+
+    def _is_bool(self, e: A.Expr) -> bool:
+        """True when the native emission of ``e`` is exactly 0/1-valued."""
+        c = self._fold(e)
+        if c is not None:
+            return c in (0, 1)
+        if isinstance(e, A.Ident):
+            slot = self.layout.slots.get(e.name)
+            return slot is not None and slot.width == 1
+        if isinstance(e, A.Unary):
+            return e.op == "!"
+        if isinstance(e, A.Binary):
+            return e.op in _CMP or e.op in ("&&", "||")
+        if isinstance(e, A.Ternary):
+            return self._is_bool(e.then) and self._is_bool(e.other)
+        if isinstance(e, A.Index):  # single-bit select of a variable
+            return not e.is_memory
+        return False
+
+    def _cond_mask(self, e: A.Expr, bits: int) -> Optional[str]:
+        """All-ones/zeros select mask at ``bits`` from ``e``'s truthiness.
+
+        ``dt(0) - cond`` turns an exact 0/1 condition into 0x00…/0xFF…
+        directly — NEP 50 scalar dtypes are strong, so the subtraction
+        lands at the mask dtype without materializing an intermediate.
+        """
+        dt = _dt_name(bits)
+        if self._is_bool(e):
+            n = self.emit_native(e)
+            if n is not None:
+                return f"({dt}(0) - ({n[0]}))"
+        p = self.emit_packed(e)
+        if p is not None:
+            return f"({dt}(0) - pk.unpack_u8({p}, N))"
+        n = self.emit_native(e)
+        if n is None:
+            return None
+        return f"({dt}(0) - (({n[0]}) != 0).view(u8))"
+
+    def _native_inc_mux(
+        self, e: A.Ternary, demand: Optional[int]
+    ) -> Optional[Tuple[str, int]]:
+        """``c ? x + 1 : x`` as ``x + (c as 0/1)`` — one add, no mask.
+
+        The enable-counter idiom.  Addition wraps, so this inherits the
+        wrap-op soundness rule: the compute dtype must cover the demanded
+        bits (widening the base when necessary), and the result is exact
+        only when the dtype already covers the full context width.
+        """
+        t, f = e.then, e.other
+        if not (isinstance(t, A.Binary) and t.op == "+"):
+            return None
+        if not ((self._fold(t.right) == 1 and self._same(t.left, f))
+                or (self._fold(t.left) == 1 and self._same(t.right, f))):
+            return None
+        base = self.emit_native(f, demand)
+        if base is None:
+            return None
+        code, bits = base
+        need = demand if demand is not None else e.ctx_width
+        if bits < need:
+            want = self._fit_bits(need)
+            if want is None:
+                return None
+            code, bits = self._widen(code, bits, want)
+        c01 = self._cond01(e.cond)
+        if c01 is None:
+            return None
+        out = f"(({code}) + ({c01}))"
+        if demand is None and e.ctx_width < bits:
+            out = f"(({out}) & {_dt_name(bits)}({bv.mask(e.ctx_width)}))"
+        return out, bits
+
+    def _cond01(self, e: A.Expr) -> Optional[str]:
+        """A 0/1-valued uint8 batch from ``e``'s truthiness (no mask)."""
+        if self._is_bool(e):
+            n = self.emit_native(e)
+            if n is not None:
+                return n[0]
+        p = self.emit_packed(e)
+        if p is not None:
+            return f"pk.unpack_u8({p}, N)"
+        n = self.emit_native(e)
+        if n is None:
+            return None
+        return f"(({n[0]}) != 0).view(u8)"
+
+    @staticmethod
+    def _same(a: A.Expr, b: A.Expr) -> bool:
+        """Structural equality of two (small) expressions."""
+        if type(a) is not type(b):
+            return False
+        if isinstance(a, A.Ident):
+            return a.name == b.name
+        if isinstance(a, A.Number):
+            return a.value == b.value
+        if isinstance(a, A.Unary):
+            return a.op == b.op and FusedExprCodegen._same(a.operand, b.operand)
+        if isinstance(a, A.Binary):
+            return (a.op == b.op
+                    and FusedExprCodegen._same(a.left, b.left)
+                    and FusedExprCodegen._same(a.right, b.right))
+        return False
+
+    @staticmethod
+    def _fit_bits(width: int) -> Optional[int]:
+        """Smallest native bit width that can hold ``width`` bits."""
+        for bits in _NATIVE_BITS:
+            if width <= bits:
+                return bits
+        return None
+
+    @staticmethod
+    def _widen(code: str, bits: int, want: int) -> Tuple[str, int]:
+        """Upcast a native subvalue to a wider dtype (exact — zero-extend).
+
+        Works on batch arrays and numpy scalars alike (both have
+        ``astype``); used when a wrap-around op needs a compute dtype
+        wider than its operands (e.g. ``count + 1`` in a 32-bit integer
+        context over uint8 storage).
+        """
+        if bits >= want:
+            return code, bits
+        return f"({code}).astype({_dt_name(want)})", want
+
+    def _native_unary(self, e: A.Unary, demand: Optional[int] = None):
+        if e.op == "!":
+            x = self.emit_native(e.operand)
+            if x is None or not self._has_ident(e.operand):
+                return None
+            return f"(({x[0]}) == 0).view(u8)", 8
+        if e.op in ("~", "-", "+"):
+            x = self.emit_native(e.operand, demand)
+            if x is None:
+                return None
+            code, bits = x
+            if e.op == "+":
+                return code, bits
+            # ~ flips and - borrows across every compute bit: the dtype
+            # must cover the needed width (context, or just the demanded
+            # low bits when the consumer masks anyway).
+            need = demand if demand is not None else e.ctx_width
+            if bits < need:
+                want = self._fit_bits(need)
+                if want is None:
+                    return None
+                code, bits = self._widen(code, bits, want)
+            dt = _dt_name(bits)
+            if e.op == "~":
+                body = f"(~({code}))"
+            else:
+                body = f"({dt}(0) - ({code}))"
+            if demand is None and e.ctx_width < bits:
+                body = f"({body} & {dt}({bv.mask(e.ctx_width)}))"
+            return body, bits
+        return None  # reductions: uint64 tier
+
+    def _native_binary(self, e: A.Binary, demand: Optional[int] = None):
+        op = e.op
+        if op in ("&&", "||"):
+            if not self._has_ident(e):
+                return None
+            l = self.emit_native(e.left)
+            r = self.emit_native(e.right)
+            if l is None or r is None:
+                return None
+            sym = "&" if op == "&&" else "|"
+            return (f"((({l[0]}) != 0) {sym} (({r[0]}) != 0)).view(u8)", 8)
+        if op in _CMP:
+            # Comparison operands are exactness-sensitive: always exact.
+            if not self._has_ident(e):
+                return None
+            l = self.emit_native(e.left)
+            r = self.emit_native(e.right)
+            if l is None or r is None:
+                return None
+            return f"(({l[0]}) {_CMP[op]} ({r[0]})).view(u8)", 8
+        if op in ("<<", "<<<", ">>", ">>>"):
+            amt = self._fold(e.right)
+            if amt is None:
+                return None  # dynamic shift amounts: uint64 tier (bvb)
+            if amt >= e.ctx_width or (demand is not None and op in ("<<", "<<<")
+                                      and amt >= demand):
+                return self._native_const(0, e.ctx_width)
+            if op in ("<<", "<<<"):
+                # Low ``demand`` result bits come from the operand's low
+                # ``demand - amt`` bits.
+                l = self.emit_native(
+                    e.left, None if demand is None else demand - amt
+                )
+                if l is None:
+                    return None
+                code, bits = l
+                need = demand if demand is not None else e.ctx_width
+                if bits < need:
+                    want = self._fit_bits(need)
+                    if want is None:
+                        return None
+                    code, bits = self._widen(code, bits, want)
+                body = f"(({code}) << {amt})" if amt else code
+                if demand is None and e.ctx_width < bits:
+                    body = f"({body} & {_dt_name(bits)}({bv.mask(e.ctx_width)}))"
+                return body, bits
+            # >>: result bits [0, d) are operand bits [amt, amt + d).
+            l = self.emit_native(
+                e.left, None if demand is None else amt + demand
+            )
+            if l is None:
+                return None
+            code, bits = l
+            if amt >= bits:
+                # The operand value has no bits there (and C shift-by-
+                # >=width is undefined; sidestep it).
+                return self._native_const(0, e.ctx_width)
+            return (f"(({code}) >> {amt})" if amt else code), bits
+        if op in ("+", "-", "*", "&", "|", "^", "~^", "^~"):
+            # Low result bits of all of these depend only on equally-low
+            # operand bits: demand passes straight through.
+            l = self.emit_native(e.left, demand)
+            r = self.emit_native(e.right, demand)
+            if l is None or r is None:
+                return None
+            lc, lb = l
+            rc, rb = r
+            bits = max(lb, rb)
+            wraps = op not in ("&", "|", "^")
+            need = demand if demand is not None else e.ctx_width
+            if wraps and bits < need:
+                # Carries/flips reach past the operand dtypes: widen one
+                # side (a constant side for free — NEP 50 scalar dtypes
+                # are "strong", so the promotion carries the batch array
+                # along) and compute at the needed width.
+                want = self._fit_bits(need)
+                if want is None:
+                    return None
+                if self._fold(e.right) is not None:
+                    rc, rb = self._widen(rc, rb, want)
+                else:
+                    lc, lb = self._widen(lc, lb, want)
+                bits = want
+            table = {
+                "+": f"(({lc}) + ({rc}))",
+                "-": f"(({lc}) - ({rc}))",
+                "*": f"(({lc}) * ({rc}))",
+                "&": f"(({lc}) & ({rc}))",
+                "|": f"(({lc}) | ({rc}))",
+                "^": f"(({lc}) ^ ({rc}))",
+                "~^": f"(~(({lc}) ^ ({rc})))",
+                "^~": f"(~(({lc}) ^ ({rc})))",
+            }
+            body = table[op]
+            # &, |, ^ of sound subvalues stay sound unmasked (eval_expr
+            # does not mask them either); wrap ops in exact mode mask to
+            # the context unless the compute dtype already wraps there —
+            # in demand mode the consumer discards those bits anyway.
+            if wraps and demand is None and e.ctx_width < bits:
+                body = f"({body} & {_dt_name(bits)}({bv.mask(e.ctx_width)}))"
+            return body, bits
+        return None  # / % ** : uint64 tier (div-fault sink lives there)
+
+
 @dataclass
 class MemWriteBinding:
     """Commit-time binding for one guarded memory write."""
@@ -418,6 +1074,9 @@ class CompiledModel:
     _task_accesses: Optional[Dict[int, TaskAccess]] = field(
         default=None, repr=False, compare=False
     )
+    _fused: Optional["FusedPrograms"] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def design(self):
@@ -428,6 +1087,16 @@ class CompiledModel:
         if self._task_accesses is None:
             self._task_accesses = compute_task_accesses(self.taskgraph, self.layout)
         return self._task_accesses
+
+    def fused(self) -> "FusedPrograms":
+        """The flat-program lowering of this model (built lazily, cached).
+
+        Fused programs run against their *own* bit-packed memory layout;
+        the simulator picks it up via the executor's ``layout`` marker.
+        """
+        if self._fused is None:
+            self._fused = FusedProgramCodegen(self.taskgraph).compile()
+        return self._fused
 
     def comb_schedule(self) -> List[int]:
         return list(self.taskgraph.comb_topo)
@@ -573,20 +1242,8 @@ class KernelCodegen:
         body.append(f"TASKS = [{tasklist}]")
         return "\n".join(header + [""] + body) + "\n"
 
-    def compile(self) -> CompiledModel:
-        t0 = time.perf_counter()
-        source = self.generate_source()
-        code = compile(source, f"<rtlflow:{self.graph.design.top}>", "exec")
-        ns: Dict[str, object] = {}
-        exec(code, ns)
-        elapsed = time.perf_counter() - t0
-
-        task_fns = {t.tid: ns[f"task_{t.tid}"] for t in self.tg.tasks}
-        fused_seq = {
-            dom: ns[f"seq_fused_{i}"]
-            for i, dom in enumerate(self._domains)
-        }
-
+    def _mem_write_bindings(self) -> List[MemWriteBinding]:
+        """Commit-time bindings for this codegen's layout (program order)."""
         mem_writes: List[MemWriteBinding] = []
         for node in self.graph.memw_nodes:  # original program order
             sc = self.layout.scratch[node.nid]
@@ -607,6 +1264,22 @@ class KernelCodegen:
                     data_off=sc.data.offset,
                 )
             )
+        return mem_writes
+
+    def compile(self) -> CompiledModel:
+        t0 = time.perf_counter()
+        source = self.generate_source()
+        code = compile_source(source, self.graph.design.top)
+        ns: Dict[str, object] = {}
+        exec(code, ns)
+        elapsed = time.perf_counter() - t0
+
+        task_fns = {t.tid: ns[f"task_{t.tid}"] for t in self.tg.tasks}
+        fused_seq = {
+            dom: ns[f"seq_fused_{i}"]
+            for i, dom in enumerate(self._domains)
+        }
+        mem_writes = self._mem_write_bindings()
 
         return CompiledModel(
             graph=self.graph,
@@ -618,6 +1291,200 @@ class KernelCodegen:
             fused_comb=ns["comb_fused"],
             fused_seq=fused_seq,
             mem_writes=mem_writes,
+            transpile_seconds=elapsed,
+        )
+
+
+@dataclass
+class FusedProgram:
+    """One straight-line compiled program (a partition x clock-domain unit).
+
+    The backend-neutral handle the simulator executes: ``fn`` is today a
+    compiled numpy program, but the fields deliberately expose nothing
+    numpy-specific, so a future backend can lower the same
+    :class:`FusedPrograms` bundle through a different code path.
+    """
+
+    name: str
+    kind: str  # "comb" | "seq"
+    domain: Optional[Tuple[str, str]]  # (clock, edge) for seq programs
+    fn: Callable
+    n_nodes: int
+
+
+@dataclass
+class FusedPrograms:
+    """The fused flat-program lowering of a task graph.
+
+    One program for the whole combinational phase, one per sequential
+    clock domain — no per-task dispatch loop remains.  Runs against a
+    ``pack_bits=True`` layout, so it carries its own
+    :class:`~repro.core.memory.MemoryLayout` and the matching
+    :class:`MemWriteBinding` offsets (they differ from the unpacked
+    model's).
+    """
+
+    layout: MemoryLayout
+    comb: FusedProgram
+    seq: Dict[Tuple[str, str], FusedProgram]
+    mem_writes: List[MemWriteBinding]
+    source: str
+    namespace: Dict[str, object]
+    transpile_seconds: float = 0.0
+
+
+class FusedProgramCodegen(KernelCodegen):
+    """Flat-program code generator over the bit-packed layout.
+
+    Where :class:`KernelCodegen` emits one function per macro task (plus
+    inlined concatenations of those bodies), this emits exactly one
+    ``compile()``-d straight-line function per execution unit — the
+    whole comb phase, and each sequential clock domain — with no
+    per-task function calls left on the replay path, mirroring the
+    paper's define-once/replay-per-cycle CUDA Graph.  Expressions lower
+    through :class:`FusedExprCodegen` (packed/native/uint64 tiers).
+    """
+
+    def __init__(self, taskgraph: TaskGraph, layout: Optional[MemoryLayout] = None):
+        self.tg = taskgraph
+        self.graph = taskgraph.graph
+        self.layout = layout or MemoryLayout.from_graph(
+            self.graph, pack_bits=True
+        )
+        self.mapper = PackedIndexMapper(self.layout)
+        self.expr = FusedExprCodegen(self.mapper, self.graph)
+
+    # -- statement generation (packed/native-aware stores) ---------------------
+
+    def _store(self, target: str, expr: A.Expr, shadow: bool) -> str:
+        slot = self.layout.slot(target)
+        if slot.pool == PACKED_POOL:
+            tgt = self.mapper.slice_of(slot, shadow=shadow)
+            c = self.expr._fold(expr)
+            if c is not None:
+                # Assignment to a 1-bit target keeps the low bit only.
+                return f"{tgt} = {'pk.ones(N)' if (c & 1) else 'pk.zeros(N)'}"
+            pcode = self.expr.emit_packed(expr)
+            if pcode is not None:
+                return f"{tgt} = {pcode}"
+            nat = self.expr.emit_native(expr, 1)  # pack keeps the low bit
+            if nat is not None:
+                return f"{tgt} = pk.pack({nat[0]}, N)"
+            return f"{tgt} = pk.pack({self.expr.emit_narrow(expr)}, N)"
+        if slot.limbs == 1:
+            nat = self.expr.emit_native(expr, slot.width)
+            if nat is not None:
+                code, bits = nat
+                # Demand-mode results may carry wrap garbage at and above
+                # slot.width.  Physical garbage exists only when the
+                # compute dtype is wider than the slot, and it survives
+                # the store only when the pool dtype is wider too (equal
+                # widths truncate on assignment).
+                if slot.width < min(bits, _NATIVE_BITS[slot.pool]):
+                    code = f"({code}) & {_dt_name(bits)}({bv.mask(slot.width)})"
+                return (
+                    f"{self.mapper.store_target(target, shadow=shadow)} = {code}"
+                )
+        return super()._store(target, expr, shadow)
+
+    # -- program generation ----------------------------------------------------
+
+    def _program_fn(self, name: str, tids: List[int], title: str) -> List[str]:
+        n_nodes = sum(len(self.tg.tasks[t].nodes) for t in tids)
+        lines = [
+            f"# fused program: {title} ({len(tids)} tasks, {n_nodes} nodes, "
+            "straight-line)",
+            f"def {name}(P8, P16, P32, P64, P1, N, W, LANE):",
+        ]
+        any_stmt = False
+        for tid in tids:
+            for nid in self.tg.tasks[tid].nodes:
+                stmts = self._node_stmts(self.graph.nodes[nid])
+                # Mask temporaries hoisted while emitting this node's
+                # expressions; they only read design state, so they are
+                # sound ahead of every store of the same node.
+                for pre in self.expr.drain_prelude():
+                    lines.append(f"    {pre}")
+                for stmt in stmts:
+                    lines.append(f"    {stmt}")
+                    any_stmt = True
+        if not any_stmt:
+            lines.append("    pass")
+        return lines
+
+    def generate_source(self) -> str:
+        header = [
+            '"""Fused batch RTL programs transpiled by repro.core.',
+            "",
+            "Auto-generated; do not edit.  One straight-line program per",
+            "partition x clock domain; 1-bit signals are lane-packed into",
+            "uint64 words (pool P1, W = ceil(N/64) words per signal).",
+            '"""',
+            "import numpy as np",
+            "from repro.core import kernels as rt",
+            "from repro.utils import bitvec as bvb",
+            "from repro.utils import packbits as pk",
+            "from repro.utils import widevec as wv",
+            "",
+            "u8 = np.uint8",
+            "u16 = np.uint16",
+            "u32 = np.uint32",
+            "u64 = np.uint64",
+            "",
+        ]
+        header.extend(render_header(self.tg))
+        body: List[str] = []
+        body.extend(
+            self._program_fn("fused_comb", list(self.tg.comb_topo), "comb phase")
+        )
+        body.append("")
+        domains: Dict[Tuple[str, str], List[int]] = {}
+        for t in self.tg.tasks:
+            if t.kind is NodeKind.SEQ:
+                domains.setdefault((t.clock, t.edge), []).append(t.tid)
+        self._domains = domains
+        for i, ((clock, edge), tids) in enumerate(domains.items()):
+            body.extend(
+                self._program_fn(
+                    f"fused_seq_{i}", tids, f"{edge} {clock} domain"
+                )
+            )
+            body.append("")
+        return "\n".join(header + [""] + body) + "\n"
+
+    def compile(self) -> FusedPrograms:  # type: ignore[override]
+        t0 = time.perf_counter()
+        source = self.generate_source()
+        code = compile_source(source, self.graph.design.top, tag="fused")
+        ns: Dict[str, object] = {}
+        exec(code, ns)
+        elapsed = time.perf_counter() - t0
+        comb = FusedProgram(
+            name="fused_comb",
+            kind="comb",
+            domain=None,
+            fn=ns["fused_comb"],
+            n_nodes=sum(
+                len(self.tg.tasks[t].nodes) for t in self.tg.comb_topo
+            ),
+        )
+        seq = {
+            dom: FusedProgram(
+                name=f"fused_seq_{i}",
+                kind="seq",
+                domain=dom,
+                fn=ns[f"fused_seq_{i}"],
+                n_nodes=sum(len(self.tg.tasks[t].nodes) for t in tids),
+            )
+            for i, (dom, tids) in enumerate(self._domains.items())
+        }
+        return FusedPrograms(
+            layout=self.layout,
+            comb=comb,
+            seq=seq,
+            mem_writes=self._mem_write_bindings(),
+            source=source,
+            namespace=ns,
             transpile_seconds=elapsed,
         )
 

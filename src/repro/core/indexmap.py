@@ -5,14 +5,20 @@ Maps every variable reference to its pool access string.  With offset
 ``pool[o*N + tid]``; the whole batch is the contiguous slice
 ``pool[o*N : (o+1)*N]`` — the coalesced-access property of Listing 3
 carried over to the vectorized axis.
+
+:class:`PackedIndexMapper` extends the mapping to the lane-packed 1-bit
+pool ``P1`` of fused layouts: a packed variable's batch is the word
+slice ``P1[o*W : (o+1)*W]`` with ``W = ceil(N/64)`` (the generated
+programs bind ``W`` alongside ``N``), and a *unpacked* load of a packed
+variable goes through :func:`repro.utils.packbits.unpack_u64`.
 """
 
 from __future__ import annotations
 
-from repro.core.memory import MemoryLayout, VarSlot
+from repro.core.memory import PACKED_POOL, MemoryLayout, VarSlot
 from repro.utils.errors import SimulationError
 
-POOL_VARS = ("P8", "P16", "P32", "P64")
+POOL_VARS = ("P8", "P16", "P32", "P64", "P1")
 
 
 class IndexMapper:
@@ -40,13 +46,44 @@ class IndexMapper:
         return self.slice_of(self.layout.slot(name), shadow=shadow)
 
     def mem_read_call(self, name: str, idx_code: str) -> str:
+        # Generated code consumes the read inside the enclosing
+        # expression before any later store, so the zero-copy fast path
+        # is safe here (see the aliasing contract on rt.mem_read).
         m = self.layout.mem(name)
         return (
             f"rt.mem_read({self.pool_var(m.pool)}, {m.base}, {m.depth}, "
-            f"N, LANE, {idx_code})"
+            f"N, LANE, {idx_code}, copy=False)"
         )
 
     def comment_for(self, name: str) -> str:
         """Listing 3 style offset comment for one variable."""
         slot = self.layout.slot(name)
         return f"offset of {name} is {slot.offset} ({POOL_VARS[slot.pool]})"
+
+
+class PackedIndexMapper(IndexMapper):
+    """Index mapper for pack-bits layouts (fused-program codegen).
+
+    Packed slots index by word blocks (stride ``W``), everything else
+    falls through to the byte-per-lane mapping above.
+    """
+
+    def slice_of(self, slot: VarSlot, shadow: bool = False) -> str:
+        if slot.pool != PACKED_POOL:
+            return super().slice_of(slot, shadow=shadow)
+        off = slot.next_offset if shadow else slot.offset
+        if shadow and slot.next_offset is None:
+            raise SimulationError(f"{slot.name!r} has no shadow slot")
+        return f"P1[{off}*W:{off + 1}*W]"
+
+    def load(self, name: str) -> str:
+        slot = self.layout.slot(name)
+        if slot.pool != PACKED_POOL:
+            return super().load(name)
+        return f"pk.unpack_u64({self.slice_of(slot)}, N)"
+
+    def comment_for(self, name: str) -> str:
+        slot = self.layout.slot(name)
+        if slot.pool != PACKED_POOL:
+            return super().comment_for(name)
+        return f"offset of {name} is {slot.offset} (P1, word-packed)"

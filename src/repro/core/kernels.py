@@ -13,12 +13,22 @@ _U64 = np.uint64
 
 
 def mem_read(pool: np.ndarray, base: int, depth: int, n: int, lane: np.ndarray,
-             idx: np.ndarray) -> np.ndarray:
+             idx: np.ndarray, copy: bool = True) -> np.ndarray:
     """Batch memory read ``mem[idx]`` with out-of-range reads returning 0.
 
     ``idx`` is a per-stimulus uint64 address array; the gather touches
     ``pool[(base + idx) * N + tid]`` exactly as Listing 3's recursive
     ARRSEL code does.
+
+    Aliasing contract: with ``copy=True`` (the default) the result is
+    always freshly allocated and stays valid across later writes to the
+    memory's pool region.  ``copy=False`` permits the constant-address
+    fast path to return a zero-copy *view* of the pool slice when the
+    pool is already uint64 — callers must consume the value before any
+    program-order-later store (``mem_commit``) can touch that region.
+    Generated code passes ``copy=False`` only where the read feeds
+    directly into the enclosing expression; every other caller takes the
+    safe default.
     """
     idx = np.asarray(idx)
     if depth <= 0:
@@ -31,7 +41,7 @@ def mem_read(pool: np.ndarray, base: int, depth: int, n: int, lane: np.ndarray,
         if a >= depth:
             return np.zeros(n, dtype=_U64)
         off = base + a
-        return pool[off * n : (off + 1) * n].astype(_U64, copy=False)
+        return pool[off * n : (off + 1) * n].astype(_U64, copy=copy)
     safe = np.minimum(idx, _U64(depth - 1))
     flat = (_U64(base) + safe) * _U64(n) + lane
     vals = pool[flat].astype(_U64, copy=False)

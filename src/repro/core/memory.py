@@ -18,6 +18,14 @@ Allocation order inside each pool:
 3. everything else (inputs, wires, outputs),
 4. memory-write scratch (cond/addr/data per write port),
 5. memories (``depth`` consecutive offsets each).
+
+A layout built with ``pack_bits=True`` (the fused executor's layout)
+additionally owns a fifth, *packed* pool ``P1``: every 1-bit design
+signal moves out of ``var8`` into lane-packed uint64 words, one bit per
+stimulus (see :mod:`repro.utils.packbits`).  A packed variable's offset
+counts word *blocks*: with ``W = ceil(N / 64)`` words per batch, offset
+``o`` occupies ``P1[o*W : (o+1)*W]``.  Memories and memory-write scratch
+slots are never packed.
 """
 
 from __future__ import annotations
@@ -29,8 +37,12 @@ import numpy as np
 
 from repro.rtlir.graph import RtlGraph
 from repro.utils import bitvec as bv
+from repro.utils import packbits as pk
 from repro.utils import widevec as wv
 from repro.utils.errors import SimulationError
+
+#: Pool index of the lane-packed 1-bit pool (pools 0..3 are var8..var64).
+PACKED_POOL = 4
 
 
 @dataclass
@@ -80,9 +92,14 @@ class MemoryLayout:
     mems: Dict[str, MemSlot] = field(default_factory=dict)
     scratch: Dict[int, ScratchSlot] = field(default_factory=dict)
     pool_sizes: List[int] = field(default_factory=lambda: [0, 0, 0, 0])
+    # Lane-packed 1-bit pool (pool index PACKED_POOL): True when 1-bit
+    # signals live bit-packed in uint64 words, packed_size counting word
+    # *blocks* (one per 1-bit signal slot, W = ceil(N/64) words each).
+    packed: bool = False
+    packed_size: int = 0
     # Per pool: number of leading offsets that hold register current values
     # (the same count again holds their shadows immediately after).
-    reg_counts: List[int] = field(default_factory=lambda: [0, 0, 0, 0])
+    reg_counts: List[int] = field(default_factory=lambda: [0, 0, 0, 0, 0])
     # Per clock domain (clock, edge): list of (pool, start, count) ranges of
     # register *current* offsets; shadows sit at start + reg_counts[pool].
     reg_ranges: Dict[Tuple[str, str], List[Tuple[int, int, int]]] = field(
@@ -108,15 +125,28 @@ class MemoryLayout:
     def footprint_bytes(self, n: int) -> int:
         """Device bytes needed for ``n`` stimulus."""
         itemsizes = (1, 2, 4, 8)
-        return sum(s * n * b for s, b in zip(self.pool_sizes, itemsizes))
+        base = sum(s * n * b for s, b in zip(self.pool_sizes, itemsizes))
+        return base + self.packed_size * pk.words_for(n) * 8
 
     # -- construction -----------------------------------------------------------
 
     @classmethod
-    def from_graph(cls, graph: RtlGraph) -> "MemoryLayout":
+    def from_graph(cls, graph: RtlGraph, pack_bits: bool = False) -> "MemoryLayout":
+        """Assign every variable an offset.
+
+        With ``pack_bits=True`` every 1-bit design signal (registers
+        included) is placed in the lane-packed ``P1`` pool instead of
+        ``var8``; memories and memory-write scratch stay unpacked.  This
+        is the layout the fused-program executor runs against.
+        """
         design = graph.design
-        layout = cls()
-        cursors = [0, 0, 0, 0]
+        layout = cls(packed=pack_bits)
+        cursors = [0, 0, 0, 0, 0]
+
+        def pool_of(width: int) -> int:
+            if pack_bits and width == 1:
+                return PACKED_POOL
+            return bv.pool_for_width(width)
 
         def alloc(pool: int, count: int = 1) -> int:
             off = cursors[pool]
@@ -140,10 +170,12 @@ class MemoryLayout:
         def limbs_of(width: int) -> int:
             return 1 if width <= 64 else wv.limbs_for(width)
 
-        by_pool: Dict[int, List[Tuple[str, Tuple[str, str]]]] = {0: [], 1: [], 2: [], 3: []}
+        by_pool: Dict[int, List[Tuple[str, Tuple[str, str]]]] = {
+            0: [], 1: [], 2: [], 3: [], PACKED_POOL: [],
+        }
         for key, names in domain_regs.items():
             for name in names:
-                pool = bv.pool_for_width(design.signals[name].width)
+                pool = pool_of(design.signals[name].width)
                 by_pool[pool].append((name, key))
         for pool, entries in by_pool.items():
             # Keep each domain contiguous within the pool.
@@ -179,7 +211,7 @@ class MemoryLayout:
         for name, sig in design.signals.items():
             if name in layout.slots:
                 continue
-            pool = bv.pool_for_width(sig.width)
+            pool = pool_of(sig.width)
             limbs = limbs_of(sig.width)
             layout.slots[name] = VarSlot(
                 name, sig.width, pool, alloc(pool, limbs), limbs=limbs
@@ -203,7 +235,8 @@ class MemoryLayout:
             base = alloc(pool, mem.depth)
             layout.mems[name] = MemSlot(name, mem.width, mem.depth, pool, base)
 
-        layout.pool_sizes = list(cursors)
+        layout.pool_sizes = cursors[:4]
+        layout.packed_size = cursors[PACKED_POOL]
         return layout
 
 
@@ -229,18 +262,33 @@ class DeviceArrays:
             raise SimulationError(f"batch size must be positive, got {n}")
         self.layout = layout
         self.n = n
+        # Packed-pool geometry: W uint64 words per 1-bit signal block.
+        self.words = pk.words_for(n)
         self.pools: List[np.ndarray] = [
             np.zeros(max(1, size) * n, dtype=dt)
             for size, dt in zip(layout.pool_sizes, bv.POOL_DTYPES)
         ]
+        # Pool 4: lane-packed 1-bit signals.  Always present so
+        # pools[PACKED_POOL] indexing is uniform, but exactly zero-length
+        # when nothing is packed — tooling that reshapes pools per-lane
+        # (e.g. survivor-identity checks) then skips it naturally.
+        self.pools.append(
+            np.zeros(layout.packed_size * self.words, dtype=np.uint64)
+        )
         # LANE plays the role of the CUDA thread id within the batch.
         self.lane = np.arange(n, dtype=np.uint64)
         self.track_epochs = track_epochs
+        # Optional host-write observer (called with the variable name on
+        # every named write); see BatchSimulator's clock-cache handling.
+        self.write_hook = None
         # Monotone write-epoch counter; offset epochs start at 0 and
         # executors start "never run" (-1), so everything is dirty once.
         self.epoch = 0
         self.write_epochs: Optional[List[np.ndarray]] = (
-            [np.zeros(max(1, size), dtype=np.int64) for size in layout.pool_sizes]
+            [
+                np.zeros(max(1, size), dtype=np.int64)
+                for size in layout.pool_sizes + [layout.packed_size]
+            ]
             if track_epochs
             else None
         )
@@ -316,8 +364,15 @@ class DeviceArrays:
 
         Narrow signals return the live (N,) pool slice; wide signals
         return an object-dtype (N,) array of Python ints (a copy).
+        Packed 1-bit signals return a freshly unpacked (N,) uint8 copy —
+        never a live view (the truth lives bit-packed in pool ``P1``).
         """
         s = self.layout.slot(name)
+        if s.pool == PACKED_POOL:
+            w = self.words
+            return pk.unpack_u8(
+                self.pools[PACKED_POOL][s.offset * w : (s.offset + 1) * w], self.n
+            )
         if s.limbs == 1:
             return self.pools[s.pool][s.offset * self.n : (s.offset + 1) * self.n]
         block = self.pools[3][
@@ -333,9 +388,18 @@ class DeviceArrays:
         ].reshape(s.limbs, self.n)
 
     def write(self, name: str, values) -> None:
+        hook = self.write_hook
+        if hook is not None:
+            # Host-write observer (the simulator's clock-cache
+            # invalidation); called with the variable name only.
+            hook(name)
         s = self.layout.slot(name)
-        m = bv.mask(s.width)
+        if isinstance(values, pk.PackedWords) and s.pool != PACKED_POOL:
+            # Pre-packed stimulus row aimed at an unpacked slot (e.g. a
+            # layout change between pack and apply): fall back to lanes.
+            values = pk.unpack_u64(values.words, self.n)
         if s.limbs > 1:
+            m = bv.mask(s.width)
             if np.isscalar(values) or getattr(values, "ndim", 1) == 0:
                 ints = [int(values) & m] * self.n
             else:
@@ -354,6 +418,37 @@ class DeviceArrays:
             block[:] = new
             self.mark_written(3, s.offset, s.offset + s.limbs)
             return
+        if s.pool == PACKED_POOL:
+            w = self.words
+            view = self.pools[PACKED_POOL][s.offset * w : (s.offset + 1) * w]
+            if isinstance(values, pk.PackedWords):
+                new = values.words
+                if new.shape[0] != w:
+                    raise SimulationError(
+                        f"expected {w} packed words for {name!r}, "
+                        f"got {new.shape[0]}"
+                    )
+                if self.track_epochs and np.array_equal(view, new):
+                    return
+                view[:] = new
+                self.mark_written(PACKED_POOL, s.offset)
+                return
+            arr = np.asarray(values)
+            if arr.ndim == 0:
+                new = pk.fill(int(arr), self.n)
+            else:
+                if arr.shape[0] != self.n:
+                    raise SimulationError(
+                        f"expected {self.n} lane values for {name!r}, "
+                        f"got {arr.shape[0]}"
+                    )
+                new = pk.pack(arr, self.n)
+            if self.track_epochs and np.array_equal(view, new):
+                return
+            view[:] = new
+            self.mark_written(PACKED_POOL, s.offset)
+            return
+        m = bv.mask(s.width)
         arr = np.asarray(values)
         view = self.pools[s.pool][s.offset * self.n : (s.offset + 1) * self.n]
         if arr.ndim == 0:
@@ -450,6 +545,9 @@ class DeviceArrays:
     ) -> None:
         """Copy shadows ``[r+start, r+start+count)`` over currents, marking
         the offsets whose batch values actually changed."""
+        if pool_idx == PACKED_POOL:
+            self._commit_packed_range(pool, start, count, r, active)
+            return
         n = self.n
         cur = pool[start * n : (start + count) * n]
         nxt = pool[(r + start) * n : (r + start + count) * n]
@@ -474,6 +572,55 @@ class DeviceArrays:
                 cur.reshape(count, n), nxt.reshape(count, n),
                 where=active[None, :],
             )
+
+    def _commit_packed_range(
+        self, pool: np.ndarray, start: int, count: int, r: int,
+        active: Optional[np.ndarray] = None,
+    ) -> None:
+        """Packed-pool register commit: word-level diff + masked blend.
+
+        One offset here is a block of ``self.words`` uint64 words; the
+        quarantine mask packs once per commit and blends bitwise, so a
+        frozen lane's current bit survives untouched.
+        """
+        w = self.words
+        cur = pool[start * w : (start + count) * w].reshape(count, w)
+        nxt = pool[(r + start) * w : (r + start + count) * w].reshape(count, w)
+        mask_words = None
+        if active is not None:
+            mask_words = pk.pack_bool(np.asarray(active, dtype=bool), self.n)
+        if self.track_epochs:
+            diff = cur ^ nxt
+            if mask_words is not None:
+                diff = diff & mask_words[None, :]
+            changed = np.nonzero(diff.any(axis=1))[0]
+            if changed.size:
+                e = self.bump_epoch()
+                assert self.write_epochs is not None
+                self.write_epochs[PACKED_POOL][start + changed] = e
+            else:
+                return  # nothing changed: skip the copy too
+        if mask_words is None:
+            np.copyto(cur, nxt)
+        else:
+            cur[:] = pk.blend(cur, nxt, mask_words[None, :])
+
+    def uniform_value(self, name: str) -> Optional[int]:
+        """Scalar value when every lane of ``name`` agrees, else None.
+
+        The hot-path batch-uniform check used for clock levels; the
+        packed pool answers it with a handful of word compares instead of
+        materializing an (N,) slice.
+        """
+        s = self.layout.slot(name)
+        if s.pool == PACKED_POOL:
+            w = self.words
+            return pk.uniform_level(
+                self.pools[PACKED_POOL][s.offset * w : (s.offset + 1) * w], self.n
+            )
+        v = self.read(name)
+        first = v[0]
+        return int(first) if bool((v == first).all()) else None
 
     def snapshot(self) -> List[np.ndarray]:
         return [p.copy() for p in self.pools]

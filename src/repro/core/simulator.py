@@ -9,6 +9,7 @@ stimulus axis is the vectorized numpy axis.
 from __future__ import annotations
 
 import hashlib
+import time
 from typing import (
     Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union,
 )
@@ -17,9 +18,13 @@ import numpy as np
 
 from repro.core import kernels as rt
 from repro.core.codegen import CompiledModel
-from repro.core.memory import DeviceArrays
+from repro.core.memory import PACKED_POOL, DeviceArrays
 from repro.gpu.device import SimulatedDevice
-from repro.gpu.graphexec import ConditionalGraphExecutor, CudaGraphExecutor
+from repro.gpu.graphexec import (
+    ConditionalGraphExecutor,
+    CudaGraphExecutor,
+    FusedProgramExecutor,
+)
 from repro.gpu.stream import StreamExecutor
 from repro.obs import get_metrics, get_tracer
 from repro.obs.metrics import MetricsRegistry
@@ -32,6 +37,7 @@ from repro.resilience.faults import (
     LaneStimulusError,
 )
 from repro.utils import bitvec as bv
+from repro.utils import packbits as pk
 from repro.utils.errors import SimulationError
 from repro.utils.timing import Stopwatch
 
@@ -44,11 +50,17 @@ def make_executor(
     kind: str = "graph",
     **kwargs,
 ):
-    """Executor factory: 'graph' (default), 'graph-fused', 'graph-conditional',
-    or 'stream'.
+    """Executor factory: 'graph' (default), 'graph-fused', 'graph-inlined',
+    'graph-conditional', or 'stream'.
 
-    'graph-conditional' is the activity-aware engine: it replays only the
-    macro tasks whose inputs changed since their last execution (see
+    'graph-fused' is the flat-program engine: the whole comb phase (and
+    each clock domain) runs as one straight-line compiled program over a
+    bit-packed layout — no per-task dispatch remains (see
+    :class:`~repro.gpu.graphexec.FusedProgramExecutor` and
+    docs/fusion.md).  'graph-inlined' keeps the older source-level task
+    inlining over the unpacked layout.  'graph-conditional' is the
+    activity-aware engine: it replays only the macro tasks whose inputs
+    changed since their last execution (see
     :class:`~repro.gpu.graphexec.ConditionalGraphExecutor` and
     docs/activity.md), trading a small per-replay dirty-set check for
     skipping quiescent logic entirely.
@@ -56,6 +68,8 @@ def make_executor(
     if kind == "graph":
         return CudaGraphExecutor(model, device, fused=False)
     if kind in ("graph-fused", "fused"):
+        return FusedProgramExecutor(model, device, **kwargs)
+    if kind in ("graph-inlined", "inlined"):
         return CudaGraphExecutor(model, device, fused=True)
     if kind in ("graph-conditional", "conditional"):
         return ConditionalGraphExecutor(model, device, **kwargs)
@@ -102,10 +116,17 @@ class BatchSimulator:
             if isinstance(executor, str)
             else executor
         )
+        # The fused executor runs against its own bit-packed layout and
+        # carries the matching memory-write bindings; every other
+        # executor uses the model's unpacked layout.
+        self.layout = getattr(self.executor, "layout", None) or model.layout
+        self.mem_writes = getattr(
+            self.executor, "mem_writes", model.mem_writes
+        )
         # Conditional executors need per-offset write epochs to compute
         # their dirty sets; plain executors skip the bookkeeping cost.
         self.arrays = DeviceArrays(
-            model.layout, n,
+            self.layout, n,
             track_epochs=bool(getattr(self.executor, "wants_epochs", False)),
         )
         design = model.design
@@ -113,11 +134,45 @@ class BatchSimulator:
         self._widths = {s.name: s.width for s in design.signals.values()}
         # (pool, base) -> memory name, for attributing OOB-write faults.
         self._mem_names = {
-            (m.pool, m.base): name for name, m in model.layout.mems.items()
+            (m.pool, m.base): name for name, m in self.layout.mems.items()
         }
         clocks = design.clocks()
         self.clock = clock if clock is not None else (clocks[0] if clocks else None)
         self._prev_clock: Dict[str, int] = {c: 0 for c in clocks}
+        # Any named write to a clock (set_input or a direct arrays.write)
+        # invalidates the set_clock scalar cache, so edge detection falls
+        # back to the per-lane uniformity scan.
+        self.arrays.write_hook = self._on_host_write
+        # Whole-evaluation fast path (see _evaluate_inner): a stable
+        # bound-method reference so the executor can cache its plans.
+        self._run_eval = getattr(self.executor, "run_eval", None)
+        self._commit_cb = self._commit
+        # Fast clock toggling: a cached pool view plus the two level
+        # values, set up below once the layout is known.  Disabled under
+        # epoch tracking (conditional executors need mark_written).
+        self._clk_fast = None
+        if (self.clock is not None
+                and not self.arrays.track_epochs
+                and self.clock in self._input_names):
+            s = self.layout.slot(self.clock)
+            if s.pool == PACKED_POOL:
+                w = self.arrays.words
+                view = self.arrays.pools[PACKED_POOL][
+                    s.offset * w : (s.offset + 1) * w
+                ]
+                self._clk_fast = (view, (pk.zeros(n), pk.ones(n)))
+            elif s.limbs == 1:
+                view = self.arrays.pools[s.pool][
+                    s.offset * n : (s.offset + 1) * n
+                ]
+                self._clk_fast = (view, (0, 1))
+        # Batch-uniform clock levels last written via set_clock; lets
+        # edge detection skip the per-lane uniformity scan (see
+        # _clock_level).  Invalidated by set_input / checkpoint restore.
+        self._clock_scalar: Dict[str, int] = {}
+        # The domain list is a property of the compiled model; scanning
+        # the task graph twice per cycle is pure hot-loop overhead.
+        self._domains: List[Tuple[str, str]] = model.clock_domains()
         self.stopwatch = Stopwatch()
         self.cycles_run = 0
         # Lane fault isolation (see repro.resilience.faults): when enabled
@@ -130,13 +185,18 @@ class BatchSimulator:
         if self.metrics.enabled:
             self.metrics.set_gauge("sim.batch_n", n)
             for bits, size, itemsize in zip(
-                _POOL_BITS, model.layout.pool_sizes, (1, 2, 4, 8)
+                _POOL_BITS, self.layout.pool_sizes, (1, 2, 4, 8)
             ):
                 self.metrics.set_gauge(
                     f"mem.pool{bits}.bytes", size * n * itemsize
                 )
+            if self.layout.packed:
+                self.metrics.set_gauge(
+                    "mem.pool1.bytes",
+                    self.layout.packed_size * self.arrays.words * 8,
+                )
             self.metrics.set_gauge(
-                "mem.footprint_bytes", model.layout.footprint_bytes(n)
+                "mem.footprint_bytes", self.layout.footprint_bytes(n)
             )
 
     # -- state access -------------------------------------------------------------
@@ -148,6 +208,8 @@ class BatchSimulator:
         if q is not None and not q.all_active and name not in self._prev_clock:
             # Quarantined lanes keep their frozen inputs (clocks stay
             # batch-uniform by contract, so they are never frozen).
+            if isinstance(values, pk.PackedWords):
+                values = pk.unpack_u64(values.words, self.n)
             values = self._freeze_masked(name, values)
         self.arrays.write(name, values)
 
@@ -193,7 +255,23 @@ class BatchSimulator:
     def set_clock(self, value: int) -> None:
         if self.clock is None:
             return
-        self.arrays.write(self.clock, value & 1)
+        level = value & 1
+        fast = self._clk_fast
+        if fast is not None:
+            # Hot path: the clock toggles twice per cycle; a direct view
+            # assignment skips the generic write machinery (safe because
+            # restore() copies into the pools in place, keeping the view
+            # valid, and epoch tracking falls back to the slow path).
+            view, levels = fast
+            view[:] = levels[level]
+        else:
+            self.arrays.write(self.clock, level)
+        if self.clock in self._input_names:
+            # Input clocks only change via host writes, so remembering
+            # the scalar here lets edge detection skip the per-lane
+            # uniformity scan twice per cycle.  Any other write path to
+            # a clock (set_input, checkpoint restore) invalidates this.
+            self._clock_scalar[self.clock] = level
 
     # -- evaluation ---------------------------------------------------------------
 
@@ -203,20 +281,27 @@ class BatchSimulator:
         Edge detection reads one value per clock, so a per-lane clock
         vector would silently ignore every lane but 0 — fail loudly
         instead (clocks are batch-uniform by contract; see class docs).
+        On the packed layout the uniformity check is a handful of word
+        compares instead of an (N,) materialization.
         """
-        vals = self.arrays.read(clock)
-        if vals.size > 1 and not bool((vals == vals[0]).all()):
+        cached = self._clock_scalar.get(clock)
+        if cached is not None:
+            return cached
+        val = self.arrays.uniform_value(clock)
+        if val is None:
             raise SimulationError(
                 f"clock {clock!r} has different values across lanes; "
                 "clocks are batch-uniform — drive them with set_clock() "
                 "or a scalar write"
             )
-        return int(vals[0]) & 1
+        return val & 1
 
-    def _triggered_domains(self) -> List[Tuple[str, str]]:
+    def _triggered_domains(
+        self,
+    ) -> Tuple[List[Tuple[str, str]], Dict[str, int]]:
         out: List[Tuple[str, str]] = []
         levels: Dict[str, int] = {}
-        for clock, edge in self.model.clock_domains():
+        for clock, edge in self._domains:
             prev = self._prev_clock.get(clock, 0)
             now = levels.get(clock)
             if now is None:
@@ -225,7 +310,7 @@ class BatchSimulator:
                 out.append((clock, edge))
             elif edge == "negedge" and prev == 1 and now == 0:
                 out.append((clock, edge))
-        return out
+        return out, levels
 
     def _quarantine_lanes(
         self, lanes, reason: str, task: Optional[str] = None, detail: str = "",
@@ -262,11 +347,17 @@ class BatchSimulator:
         n = arrays.n
         if self.metrics.enabled:
             for pool_idx, _start, count in arrays.layout.reg_ranges.get(domain, ()):
-                self.metrics.inc(
-                    f"mem.pool{_POOL_BITS[pool_idx]}.commit_bytes",
-                    count * n * (1, 2, 4, 8)[pool_idx],
-                )
-        for b in self.model.mem_writes:
+                if pool_idx == PACKED_POOL:
+                    self.metrics.inc(
+                        "mem.pool1.commit_bytes",
+                        count * arrays.words * 8,
+                    )
+                else:
+                    self.metrics.inc(
+                        f"mem.pool{_POOL_BITS[pool_idx]}.commit_bytes",
+                        count * n * (1, 2, 4, 8)[pool_idx],
+                    )
+        for b in self.mem_writes:
             if (b.clock, b.edge) != domain:
                 continue
             pools = arrays.pools
@@ -302,9 +393,13 @@ class BatchSimulator:
     def _layout_signature(self) -> str:
         """Fingerprint of the memory layout (pool sizes + every variable's
         placement) so a checkpoint can only restore into the same design."""
-        layout = self.model.layout
+        layout = self.layout
         h = hashlib.sha256()
         h.update(repr(layout.pool_sizes).encode())
+        if layout.packed:
+            # Packed layouts are a different on-disk shape entirely (the
+            # P1 pool); never cross-restore with an unpacked run.
+            h.update(f"packed:{layout.packed_size};".encode())
         for name in sorted(layout.slots):
             s = layout.slots[name]
             h.update(f"{name}:{s.pool}:{s.offset}:{s.limbs};".encode())
@@ -329,7 +424,7 @@ class BatchSimulator:
             "cycles_run": self.cycles_run,
             "n": self.n,
             "layout": {
-                "pool_sizes": list(self.model.layout.pool_sizes),
+                "pool_sizes": list(self.layout.pool_sizes),
                 "signature": self._layout_signature(),
             },
         }
@@ -358,7 +453,7 @@ class BatchSimulator:
             )
         layout = ckpt.get("layout")
         if layout is not None:
-            mine = list(self.model.layout.pool_sizes)
+            mine = list(self.layout.pool_sizes)
             if (list(layout.get("pool_sizes", ())) != mine
                     or layout.get("signature") != self._layout_signature()):
                 raise SimulationError(
@@ -372,6 +467,7 @@ class BatchSimulator:
             # epoch state so a resumed run's activity matches the original.
             self.arrays.restore_epochs(epochs)
         self._prev_clock = dict(ckpt["prev_clock"])
+        self._clock_scalar.clear()
         self.cycles_run = ckpt["cycles_run"]
         qstate = ckpt.get("quarantine")
         if qstate is not None:
@@ -404,17 +500,30 @@ class BatchSimulator:
             bv.set_div_fault_sink(prev)
 
     def _evaluate_inner(self) -> None:
-        triggered = self._triggered_domains()
-        # Non-blocking semantics across domains: when several clocks edge
-        # in the same evaluation, every domain's next-state computes from
-        # the pre-edge state before any domain commits.
-        for domain in triggered:
-            self.executor.run_seq(self.arrays, *domain)
-        for domain in triggered:
-            self._commit(domain)
-        self.executor.run_comb(self.arrays)
+        triggered, levels = self._triggered_domains()
+        if self._run_eval is not None and self.quarantine is None:
+            # Whole-evaluation single-launch replay (fused executor):
+            # same seq -> commit -> comb ordering, one launch call.
+            # Quarantined batches need the generic path (masked commits).
+            self._run_eval(self.arrays, triggered, self._commit_cb)
+        else:
+            # Non-blocking semantics across domains: when several clocks
+            # edge in the same evaluation, every domain's next-state
+            # computes from the pre-edge state before any domain commits.
+            for domain in triggered:
+                self.executor.run_seq(self.arrays, *domain)
+            for domain in triggered:
+                self._commit(domain)
+            self.executor.run_comb(self.arrays)
         for clock in self._prev_clock:
-            self._prev_clock[clock] = self._clock_level(clock)
+            # Input clocks can only change via host writes, so the level
+            # sampled during edge detection is still current.  Derived
+            # clocks may have been recomputed by the comb settle just
+            # above — re-read those.
+            if clock in self._input_names and clock in levels:
+                self._prev_clock[clock] = levels[clock]
+            else:
+                self._prev_clock[clock] = self._clock_level(clock)
 
     def cycle(
         self,
@@ -431,19 +540,83 @@ class BatchSimulator:
         retried (the re-fetch sees the decoded values for every other
         lane); without isolation the error propagates.
         """
-        if inputs is not None:
-            with self.stopwatch.span("set_inputs"), \
-                    self.tracer.span("set_inputs", resource="sim"):
+        if self.tracer.enabled:
+            if inputs is not None:
+                with self.stopwatch.span("set_inputs"), \
+                        self.tracer.span("set_inputs", resource="sim"):
+                    self.set_inputs(self._fetch_inputs(inputs))
+            with self.stopwatch.span("evaluate"), \
+                    self.tracer.span("evaluate", resource="sim"):
+                self.set_clock(0)
+                self.evaluate()
+                self.set_clock(1)
+                self.evaluate()
+        else:
+            # No timeline: accumulate the Fig. 2 split directly into the
+            # stopwatch aggregates, skipping span-stack bookkeeping.
+            sw = self.stopwatch
+            if inputs is not None:
+                t0 = time.perf_counter()
                 self.set_inputs(self._fetch_inputs(inputs))
-        with self.stopwatch.span("evaluate"), \
-                self.tracer.span("evaluate", resource="sim"):
+                sw.add("set_inputs", time.perf_counter() - t0)
+            t0 = time.perf_counter()
             self.set_clock(0)
             self.evaluate()
             self.set_clock(1)
             self.evaluate()
+            sw.add("evaluate", time.perf_counter() - t0)
         self.cycles_run += 1
         if self.metrics.enabled:
             self.metrics.inc("sim.cycles")
+
+    def _on_host_write(self, name: str) -> None:
+        """DeviceArrays write hook: drop a written clock's cached level."""
+        if name in self._prev_clock:
+            self._clock_scalar.pop(name, None)
+
+    def _prepack_stimulus(self, stimulus) -> Optional[Dict[str, np.ndarray]]:
+        """Pre-pack the 1-bit input columns of a dense stimulus batch.
+
+        On the packed layout every 1-bit input write costs an (N,) lane
+        pack per cycle; packing the whole (cycles, N) column once up
+        front (one vectorized :func:`repro.utils.packbits.pack_rows`
+        call) turns the per-cycle apply into a W-word row copy.  The
+        packed rows are bit-identical to what the per-cycle pack would
+        have stored, so results are unchanged — quarantined-lane freezes
+        fall back to the lane representation inside ``set_input``.
+
+        Returns None when the layout is unpacked, the stimulus has no
+        dense columns (e.g. :class:`TextStimulusBatch`), or no packable
+        1-bit input exists.
+        """
+        if stimulus is None or not self.layout.packed:
+            return None
+        data = getattr(stimulus, "data", None)
+        if not isinstance(data, dict):
+            return None
+        cols: Dict[str, np.ndarray] = {}
+        for name, mat in data.items():
+            if (name not in self._input_names
+                    or getattr(mat, "dtype", None) == object
+                    or getattr(mat, "ndim", 0) != 2
+                    or mat.shape[1] != self.n):
+                continue
+            try:
+                slot = self.layout.slot(name)
+            except SimulationError:
+                continue
+            if slot.pool != PACKED_POOL:
+                continue
+            cols[name] = pk.pack_rows(mat, self.n)
+        return cols or None
+
+    @staticmethod
+    def _packed_row(stimulus, packed_cols, c: int) -> Dict[str, object]:
+        """One stimulus row with 1-bit inputs swapped for pre-packed words."""
+        row = stimulus.inputs_at(c)
+        for k, words in packed_cols.items():
+            row[k] = pk.PackedWords(words[c])
+        return row
 
     def _fetch_inputs(self, inputs) -> Mapping[str, ArrayLike]:
         """Resolve the cycle's input mapping, quarantining decode faults."""
@@ -527,6 +700,25 @@ class BatchSimulator:
         if checkpoint is not None:
             checkpoint.begin(self.cycles_run)
         traces: Dict[str, List[np.ndarray]] = {n: [] for n in names}
+        packed_cols = self._prepack_stimulus(stimulus)
+        # Direct apply: when EVERY stimulus input is a packed 1-bit slot
+        # (and none is a clock), each cycle's input application is just a
+        # W-word view copy per input — no per-name dispatch at all.
+        # Quarantine falls back per cycle (frozen lanes need merging).
+        direct = None
+        if (packed_cols is not None
+                and not self.arrays.track_epochs
+                and not self.tracer.enabled
+                and set(stimulus.data) <= packed_cols.keys()
+                and not any(k in self._prev_clock for k in stimulus.data)):
+            w = self.arrays.words
+            direct = []
+            for nm, rows in packed_cols.items():
+                s = self.layout.slot(nm)
+                view = self.arrays.pools[PACKED_POOL][
+                    s.offset * w : (s.offset + 1) * w
+                ]
+                direct.append((view, rows))
         for c in range(start_cycle, total):
             if fault_plan is not None and self.quarantine is not None:
                 for spec in fault_plan.lane_faults_at(c):
@@ -538,7 +730,22 @@ class BatchSimulator:
             # drift; the lambda defers stimulus decode into the
             # set_inputs span.
             if stimulus is not None and c < len(stimulus):
-                self.cycle(lambda c=c: stimulus.inputs_at(c))
+                if direct is not None and (
+                        self.quarantine is None
+                        or self.quarantine.all_active):
+                    t0 = time.perf_counter()
+                    for view, rows in direct:
+                        view[:] = rows[c]
+                    self.stopwatch.add(
+                        "set_inputs", time.perf_counter() - t0
+                    )
+                    self.cycle()
+                elif packed_cols:
+                    self.cycle(
+                        lambda c=c: self._packed_row(stimulus, packed_cols, c)
+                    )
+                else:
+                    self.cycle(lambda c=c: stimulus.inputs_at(c))
             else:
                 self.cycle()
             if trace_every and (c % trace_every == trace_every - 1):

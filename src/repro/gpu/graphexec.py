@@ -64,6 +64,100 @@ class CudaGraphExecutor:
         return (p[0], p[1], p[2], p[3], arrays.n, arrays.lane)
 
 
+class FusedProgramExecutor:
+    """Flat-program replay over the bit-packed layout (§3.2.2, strongest).
+
+    Executes the :class:`~repro.core.codegen.FusedPrograms` lowering of
+    the model: one straight-line compiled program for the whole comb
+    phase and one per sequential clock domain — no per-task Python
+    dispatch survives on the replay path, and 1-bit signals live
+    lane-packed in the ``P1`` uint64 pool (64 lanes per machine op).
+
+    The simulator reads three markers off this class: ``wants_packed``
+    (build :class:`DeviceArrays` with the packed layout), ``layout``
+    (the packed layout itself — offsets differ from the unpacked
+    model's), and ``mem_writes`` (commit bindings for that layout).
+    """
+
+    name = "graph-fused"
+    wants_packed = True
+
+    def __init__(self, model: CompiledModel, device: SimulatedDevice):
+        self.model = model
+        self.device = device
+        programs = model.fused()
+        self.programs = programs
+        self.layout = programs.layout
+        self.mem_writes = programs.mem_writes
+        # cudaGraphInstantiate analog: plans are fixed at construction.
+        self._comb_plan: List[Callable] = [programs.comb.fn]
+        self._seq_plans: Dict[Tuple[str, str], List[Callable]] = {
+            dom: [p.fn] for dom, p in programs.seq.items()
+        }
+        self._eval_plans: Dict[tuple, List[Callable]] = {}
+        self._eval_commit: Optional[Callable] = None
+        self._args_cache: Optional[Tuple[object, tuple]] = None
+
+    def run_comb(self, arrays: DeviceArrays) -> None:
+        self.device.launch_graph(self._comb_plan, self._args(arrays))
+
+    def run_seq(self, arrays: DeviceArrays, clock: str, edge: str) -> None:
+        plan = self._seq_plans.get((clock, edge))
+        if plan:
+            self.device.launch_graph(plan, self._args(arrays))
+
+    def run_eval(
+        self,
+        arrays: DeviceArrays,
+        triggered: List[Tuple[str, str]],
+        commit: Callable[[Tuple[str, str]], None],
+    ) -> None:
+        """A whole evaluation as ONE graph launch.
+
+        The plan is: sequential programs of every triggered domain (all
+        reading pre-edge state through shadow slots), then the per-domain
+        register/memory commits — modeled as the graph's device-side copy
+        nodes — then the comb settle.  Identical ordering to the generic
+        ``run_seq``/commit/``run_comb`` sequence in the simulator, minus
+        two launch calls and the Python in between.  ``commit`` must be
+        the owning simulator's domain-commit callable; the simulator only
+        takes this path when no lane is quarantined (masked commits need
+        the generic path).
+        """
+        if commit is not self._eval_commit:
+            # A different simulator took over this executor: cached plans
+            # hold the previous owner's commit nodes.
+            self._eval_plans.clear()
+            self._eval_commit = commit
+        key = tuple(triggered)
+        plan = self._eval_plans.get(key)
+        if plan is None:
+            plan = []
+            for dom in triggered:
+                plan.extend(self._seq_plans.get(dom, ()))
+            for dom in triggered:
+                def commit_node(*_a, _dom=dom):
+                    commit(_dom)
+                commit_node.__name__ = f"commit_{dom[0]}_{dom[1]}"
+                plan.append(commit_node)
+            plan.extend(self._comb_plan)
+            self._eval_plans[key] = plan
+        self.device.launch_graph(plan, self._args(arrays))
+
+    def _args(self, arrays: DeviceArrays) -> tuple:
+        # One simulator binds one DeviceArrays; restore() copies into the
+        # pools in place, so the cached tuple stays valid across
+        # checkpoint restores.
+        cached = self._args_cache
+        if cached is not None and cached[0] is arrays:
+            return cached[1]
+        p = arrays.pools
+        args = (p[0], p[1], p[2], p[3], p[4], arrays.n, arrays.words,
+                arrays.lane)
+        self._args_cache = (arrays, args)
+        return args
+
+
 class ConditionalGraphExecutor:
     """Activity-aware variant of the CUDA-Graph executor (dirty-set replay).
 

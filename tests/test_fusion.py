@@ -1,0 +1,321 @@
+"""Fused flat-program executor: differential matrix + hot-path contracts.
+
+The contract under test (docs/fusion.md):
+
+* **Bit-identity** — ``graph-fused`` (one straight-line compiled program
+  per partition, 1-bit signals word-packed across the batch axis) is
+  bit-identical to the per-node ``graph`` executor on every cycle, for
+  every design shape that stresses a pack/unpack boundary: >64-bit
+  multi-limb signals, dynamic memories with out-of-range addresses,
+  quarantined lanes, and checkpoint/resume (in-process and through
+  ``repro.cluster``).
+* **Aliasing** — ``rt.mem_read``'s constant-address fast path only
+  returns a zero-copy view when the caller opts in with ``copy=False``;
+  the default always survives later pool writes (the hot-path aliasing
+  bug this PR fixes).
+* **Compiled-code identity** — generated programs compile under
+  content-addressed pseudo-filenames, so identical designs share one
+  code object and distinct designs with the same top never alias.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import CampaignSpec, run_campaign
+from repro.core.codegen import compile_source, transpile
+from repro.core.kernels import mem_read
+from repro.core.simulator import BatchSimulator
+from repro.designs import get_design
+from repro.obs.trace import Tracer
+from repro.resilience import FaultPlan, LaneFaultSpec
+from repro.stimulus.generator import random_batch
+from repro.utils import packbits as pk
+from repro.utils.errors import SimulationError
+
+from tests.conftest import ALU_V, COUNTER_V, HIER_V, MEMDUT_V, compile_graph
+from tests.helpers import assert_batch_matches_reference
+
+WIDEACC_V = """
+module wideacc (
+    input wire clk,
+    input wire rst,
+    input wire [95:0] din,
+    output wire [95:0] acc,
+    output wire msb
+);
+    reg [95:0] r;
+    always @(posedge clk) begin
+        if (rst) r <= 0;
+        else r <= r + din;
+    end
+    assign acc = r ^ din;
+    assign msb = r[95];
+endmodule
+"""
+
+# Depth-6 memory addressed by 3 bits: addresses 6 and 7 are reachable
+# from stimulus and must read as 0 / drop the write in both executors.
+MEMOOB_V = """
+module memoob (
+    input wire clk,
+    input wire we,
+    input wire [2:0] waddr,
+    input wire [2:0] raddr,
+    input wire [7:0] wdata,
+    output wire [7:0] rdata,
+    output wire lsb
+);
+    reg [7:0] mem [0:5];
+    always @(posedge clk) begin
+        if (we) mem[waddr] <= wdata;
+    end
+    assign rdata = mem[raddr];
+    assign lsb = rdata[0];
+endmodule
+"""
+
+
+def _model(src, top):
+    return transpile(compile_graph(src, top))
+
+
+def _run(model, n, stim, executor, faults=None, tracer=None):
+    sim = BatchSimulator(
+        model, n, executor=executor,
+        fault_isolation=bool(faults), tracer=tracer,
+    )
+    plan = (
+        FaultPlan(lane_faults=[
+            LaneFaultSpec(cycle=c, lane=l, reason=r) for c, l, r in faults
+        ])
+        if faults else None
+    )
+    outs = sim.run(stim, trace_every=1, fault_plan=plan)
+    return {k: np.asarray(v).copy() for k, v in outs.items()}, sim
+
+
+# ---------------------------------------------------------------------------
+# Differential matrix: fused vs per-node graph executor, per cycle
+
+
+DIFFERENTIAL_MATRIX = [
+    pytest.param(COUNTER_V, "counter", id="counter"),
+    pytest.param(ALU_V, "alu", id="alu-comb"),
+    pytest.param(HIER_V, "adder4", id="hier-1bit"),
+    pytest.param(MEMDUT_V, "memdut", id="memory"),
+    pytest.param(MEMOOB_V, "memoob", id="memory-oob"),
+    pytest.param(WIDEACC_V, "wideacc", id="wide-96bit"),
+]
+
+
+@pytest.mark.parametrize("src,top", DIFFERENTIAL_MATRIX)
+@pytest.mark.parametrize("n", [16, 67])  # 67: ragged tail word
+def test_fused_bit_identical_to_graph(src, top, n):
+    model = _model(src, top)
+    stim = random_batch(model.design, n, 30, seed=9)
+    ref, _ = _run(model, n, stim, "graph")
+    fused, _ = _run(model, n, stim, "graph-fused")
+    assert set(ref) == set(fused)
+    for name in ref:
+        np.testing.assert_array_equal(ref[name], fused[name], err_msg=name)
+
+
+@pytest.mark.parametrize("src,top", [
+    pytest.param(COUNTER_V, "counter", id="counter"),
+    pytest.param(MEMOOB_V, "memoob", id="memory-oob"),
+    pytest.param(WIDEACC_V, "wideacc", id="wide-96bit"),
+])
+def test_fused_matches_golden_reference(src, top):
+    # The scalar golden model is the authority, not the graph executor.
+    assert_batch_matches_reference(src, top, n=11, cycles=20, seed=3,
+                                   executor="graph-fused")
+
+
+def test_fused_with_quarantined_lanes_matches_graph():
+    model = _model(COUNTER_V, "counter")
+    n = 24
+    stim = random_batch(model.design, n, 40, seed=7)
+    faults = [(7, 13, "injected"), (15, 2, "injected")]
+    ref, ref_sim = _run(model, n, stim, "graph", faults=faults)
+    fused, fused_sim = _run(model, n, stim, "graph-fused", faults=faults)
+    for name in ref:
+        np.testing.assert_array_equal(ref[name], fused[name], err_msg=name)
+    assert ref_sim.quarantine.faulted_lanes() == \
+        fused_sim.quarantine.faulted_lanes()
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint/resume: packed pools survive snapshot boundaries
+
+
+def test_fused_midrun_checkpoint_restore():
+    model = _model(COUNTER_V, "counter")
+    n = 16
+    stim = random_batch(model.design, n, 50, seed=4)
+    ref, _ = _run(model, n, stim, "graph-fused")
+
+    sim = BatchSimulator(model, n, executor="graph-fused")
+    sim.run(stim, cycles=23)
+    ckpt = sim.save_checkpoint()
+
+    fresh = BatchSimulator(model, n, executor="graph-fused")
+    fresh.restore_checkpoint(ckpt)
+    assert fresh.cycles_run == 23
+    out = fresh.run(stim, trace_every=1, start_cycle=fresh.cycles_run)
+    # The resumed tail must continue the uninterrupted run exactly.
+    np.testing.assert_array_equal(out["count"][-1], ref["count"][-1])
+
+
+def test_fused_campaign_checkpoint_resume(tmp_path):
+    bundle = get_design("counter")
+    n, cycles, seed = 16, 30, 2
+    graph_spec = CampaignSpec(
+        n=n, cycles=cycles, design="counter", seed=seed,
+        executor="graph", watch=bundle.watch,
+    )
+    fused_spec = CampaignSpec(
+        n=n, cycles=cycles, design="counter", seed=seed,
+        executor="graph-fused", watch=bundle.watch, checkpoint_every=8,
+    )
+    ref = run_campaign(graph_spec, workers=0, shard_lanes=4)
+    ck = str(tmp_path / "ckpt")
+    first = run_campaign(fused_spec, workers=0, shard_lanes=4,
+                         checkpoint_dir=ck)
+    for name in ref.outputs:
+        np.testing.assert_array_equal(ref.outputs[name], first.outputs[name])
+    # Resume consumes the durable shard results written by the first run.
+    second = run_campaign(fused_spec, workers=0, shard_lanes=4,
+                          checkpoint_dir=ck, resume=True)
+    assert all(o.cached for o in second.shards)
+    for name in first.outputs:
+        np.testing.assert_array_equal(first.outputs[name],
+                                      second.outputs[name])
+
+
+# ---------------------------------------------------------------------------
+# mem_read aliasing contract (the hot-path bug this PR fixes)
+
+
+def test_mem_read_constant_address_default_is_a_copy():
+    """Regression: the constant-address fast path used to return a pool
+    view unconditionally, so a later ``mem_commit`` to the same region
+    silently mutated values already read earlier in program order."""
+    n, depth = 8, 4
+    pool = np.arange(depth * n, dtype=np.uint64)
+    lane = np.arange(n, dtype=np.uint64)
+    got = mem_read(pool, 0, depth, n, lane, np.uint64(1))
+    before = got.copy()
+    pool[:] = 999  # a later store to the memory's region
+    np.testing.assert_array_equal(got, before)
+    assert not np.shares_memory(got, pool)
+
+
+def test_mem_read_constant_address_opt_in_view():
+    # copy=False is the generated-code fast path: a zero-copy view,
+    # valid only until the next program-order store.
+    n, depth = 8, 4
+    pool = np.arange(depth * n, dtype=np.uint64)
+    lane = np.arange(n, dtype=np.uint64)
+    got = mem_read(pool, 0, depth, n, lane, np.uint64(2), copy=False)
+    assert np.shares_memory(got, pool)
+    np.testing.assert_array_equal(got, pool[2 * n: 3 * n])
+
+
+def test_mem_read_depth_zero_and_out_of_range():
+    n = 6
+    pool = np.full(4 * n, 7, dtype=np.uint64)
+    lane = np.arange(n, dtype=np.uint64)
+    # Depth 0: no valid address at all (guards the uint64 depth-1 wrap).
+    np.testing.assert_array_equal(
+        mem_read(pool, 0, 0, n, lane, np.uint64(0)), np.zeros(n, np.uint64))
+    # Constant out-of-range address reads as zero, in and out of copy mode.
+    np.testing.assert_array_equal(
+        mem_read(pool, 0, 4, n, lane, np.uint64(9)), np.zeros(n, np.uint64))
+    # Dynamic addresses: only the out-of-range lanes read zero.
+    idx = np.array([0, 3, 4, 9, 1, 2], dtype=np.uint64)
+    got = mem_read(pool, 0, 4, n, lane, idx)
+    np.testing.assert_array_equal(got, np.where(idx < 4, 7, 0))
+
+
+# ---------------------------------------------------------------------------
+# Compiled-code cache + content-addressed pseudo-filenames
+
+
+def test_compile_source_shares_code_for_identical_source():
+    src = "x = 1\n"
+    a = compile_source(src, "top_a")
+    b = compile_source(src, "top_a")
+    assert a is b  # cache hit: cluster shards share one compile()
+
+
+def test_compile_source_digest_disambiguates_same_top():
+    a = compile_source("x = 1\n", "dut")
+    b = compile_source("x = 2\n", "dut")
+    assert a is not b
+    assert a.co_filename != b.co_filename
+    for code in (a, b):
+        assert code.co_filename.startswith("<rtlflow:dut:")
+        assert code.co_filename.endswith(">")
+    tagged = compile_source("x = 1\n", "dut", tag="fused")
+    assert tagged.co_filename.startswith("<rtlflow:dut:fused:")
+
+
+# ---------------------------------------------------------------------------
+# Word-packing primitives + the PackedWords stimulus fast path
+
+
+@pytest.mark.parametrize("n", [1, 63, 64, 67, 130])
+def test_pack_rows_bit_identical_to_per_row_pack(n):
+    rng = np.random.default_rng(n)
+    # Values >= 2 exercise the low-bit masking (2 packs as 0).
+    mat = rng.integers(0, 4, size=(9, n), dtype=np.uint64)
+    rows = pk.pack_rows(mat, n)
+    assert rows.shape == (9, pk.words_for(n))
+    for c in range(mat.shape[0]):
+        np.testing.assert_array_equal(rows[c], pk.pack(mat[c], n))
+        # Canonical form: tail bits past n are zero.
+        assert int(rows[c][-1]) & ~pk.tail_mask(n) == 0
+        np.testing.assert_array_equal(
+            pk.unpack_u8(rows[c], n), (mat[c] & 1).astype(np.uint8))
+
+
+def test_packed_words_write_path_round_trips():
+    model = _model(COUNTER_V, "counter")
+    n = 67
+    lanes = (np.arange(n) % 2).astype(np.uint64)
+    packed = pk.PackedWords(pk.pack(lanes, n))
+
+    fused = BatchSimulator(model, n, executor="graph-fused")
+    fused.arrays.write("en", packed)  # stores words directly (packed slot)
+    np.testing.assert_array_equal(fused.get("en"), lanes)
+
+    plain = BatchSimulator(model, n, executor="graph")
+    plain.arrays.write("en", packed)  # unpacked slot: falls back to lanes
+    np.testing.assert_array_equal(plain.get("en"), lanes)
+
+
+def test_direct_stimulus_apply_matches_traced_path():
+    # The tracer forces the per-cycle set_inputs path; default runs take
+    # the pre-packed direct-apply path.  Both must agree bit for bit.
+    model = _model(COUNTER_V, "counter")
+    n = 67
+    stim = random_batch(model.design, n, 30, seed=11)
+    fast, _ = _run(model, n, stim, "graph-fused")
+    slow, _ = _run(model, n, stim, "graph-fused",
+                   tracer=Tracer(enabled=True))
+    for name in fast:
+        np.testing.assert_array_equal(fast[name], slow[name], err_msg=name)
+
+
+def test_clock_scalar_cache_invalidated_by_host_write():
+    model = _model(COUNTER_V, "counter")
+    sim = BatchSimulator(model, 8, executor="graph-fused")
+    sim.set_clock(0)
+    # A direct host write must invalidate the cached uniform level ...
+    sim.arrays.write("clk", np.ones(8, dtype=np.uint64))
+    assert sim._clock_level("clk") == 1
+    # ... and a divergent write must be detected, not served stale.
+    sim.set_clock(1)
+    sim.arrays.write("clk", (np.arange(8) % 2).astype(np.uint64))
+    with pytest.raises(SimulationError, match="batch-uniform"):
+        sim._clock_level("clk")

@@ -7,7 +7,7 @@ from repro.core.codegen import transpile
 from repro.core.memory import DeviceArrays
 from repro.core.simulator import BatchSimulator, make_executor
 from repro.gpu.device import SimulatedDevice
-from repro.gpu.graphexec import CudaGraphExecutor
+from repro.gpu.graphexec import CudaGraphExecutor, FusedProgramExecutor
 from repro.gpu.stream import StreamExecutor
 from repro.gpu.timeline import Tracer, TimelineSpan, render_timeline
 from repro.utils.errors import SimulationError
@@ -76,7 +76,10 @@ class TestExecutorFactory:
         assert isinstance(make_executor(adder_model, device, "graph"), CudaGraphExecutor)
         assert isinstance(make_executor(adder_model, device, "stream"), StreamExecutor)
         fused = make_executor(adder_model, device, "graph-fused")
-        assert isinstance(fused, CudaGraphExecutor) and fused.fused
+        assert isinstance(fused, FusedProgramExecutor)
+        assert fused.wants_packed and fused.layout.packed
+        inlined = make_executor(adder_model, device, "graph-inlined")
+        assert isinstance(inlined, CudaGraphExecutor) and inlined.fused
 
     def test_unknown_kind(self, adder_model):
         with pytest.raises(SimulationError):
