@@ -17,6 +17,7 @@ Running as a script writes ``BENCH_fusion.json`` at the repo root;
 import argparse
 import json
 import os
+import time
 
 import numpy as np
 import pytest
@@ -63,6 +64,67 @@ def check_bit_identity(model, n, stim):
     return sorted(base)
 
 
+# The verifier is opt-in and runs off-cycle, so turning it on must not
+# slow the default simulation path beyond timer noise: 2% relative plus
+# a 2ms absolute floor for very short runs on shared runners.
+VERIFY_GUARD_REL = 0.02
+VERIFY_GUARD_ABS = 0.002
+
+
+def run_verify_guard(model, n, stim, repeats, sanitized_lanes=256):
+    """Verifier-off vs verifier-on timings of the default fused path.
+
+    "On" means what ``repro run --verify`` does once, off-cycle: a full
+    static ``verify_model`` pass before the timed run.  Off/on repeats
+    are interleaved (same fairness rationale as ``_batch_times``) and
+    the best of ``max(3, repeats)`` is kept.  The runtime sanitizer is
+    also timed — at a reduced lane count, since it intentionally trades
+    throughput for per-task footprint checking — and reported without
+    gating.
+
+    Returns ``(t_off, t_on, verify_seconds, t_sanitized, n_sanitized)``
+    and asserts the guard: ``t_on <= t_off * 1.02 + 2ms``.
+    """
+    from repro.core.simulator import BatchSimulator
+    from repro.verify import verify_model
+
+    def timed_run(executor, run_stim, lanes):
+        sim = BatchSimulator(model, lanes, executor=executor)
+        t0 = time.perf_counter()
+        sim.run(run_stim)
+        return time.perf_counter() - t0
+
+    # Warm-up: untimed default run + one verify pass (lazy imports, rule
+    # registration, fused-source compile) so neither side is charged
+    # one-time costs.
+    timed_run("graph-fused", stim, n)
+    report = verify_model(model)
+    assert report.clean, report.format_text()
+
+    t_off = t_on = verify_s = None
+    for _ in range(max(3, repeats)):
+        dt = timed_run("graph-fused", stim, n)
+        t_off = dt if t_off is None else min(t_off, dt)
+        t0 = time.perf_counter()
+        verify_model(model)
+        vs = time.perf_counter() - t0
+        verify_s = vs if verify_s is None else min(verify_s, vs)
+        dt = timed_run("graph-fused", stim, n)
+        t_on = dt if t_on is None else min(t_on, dt)
+
+    n_s = min(n, sanitized_lanes)
+    stim_s = stim.lanes(0, n_s)
+    timed_run("sanitize", stim_s, n_s)  # warm-up
+    t_san = timed_run("sanitize", stim_s, n_s)
+
+    assert t_on <= t_off * (1 + VERIFY_GUARD_REL) + VERIFY_GUARD_ABS, (
+        f"verifier-on default path regressed: off={t_off * 1e3:.2f}ms "
+        f"on={t_on * 1e3:.2f}ms (guard: {VERIFY_GUARD_REL:.0%} + "
+        f"{VERIFY_GUARD_ABS * 1e3:.0f}ms)"
+    )
+    return t_off, t_on, verify_s, t_san, n_s
+
+
 def run_fusion_bench(n: int = 8192, cycles: int = 300, repeats: int = 3,
                      designs=DESIGNS):
     """Time graph vs graph-fused per design; returns the report payload."""
@@ -79,12 +141,19 @@ def run_fusion_bench(n: int = 8192, cycles: int = 300, repeats: int = 3,
         timed = _batch_times(model, n, stim, EXECUTORS, repeats)
         t_full, _ = timed["graph"]
         t_fused, _ = timed["graph-fused"]
+        t_off, t_on, verify_s, t_san, n_s = run_verify_guard(
+            model, n, stim, repeats)
         results.append({
             "design": name,
             "batch_full_seconds": t_full,
             "batch_fused_seconds": t_fused,
             "fused_speedup": t_full / t_fused,
             "bit_identical_outputs": checked,
+            "verifier_off_seconds": t_off,
+            "verifier_on_seconds": t_on,
+            "verify_pass_seconds": verify_s,
+            "batch_sanitized_seconds": t_san,
+            "sanitized_lanes": n_s,
         })
     return {
         "bench": "fusion",
@@ -125,7 +194,10 @@ def main(argv=None) -> int:
             f"  {rec['design']:<10} "
             f"full={rec['batch_full_seconds'] * 1e3:7.1f}ms "
             f"fused={rec['batch_fused_seconds'] * 1e3:7.1f}ms "
-            f"speedup={rec['fused_speedup']:.2f}x"
+            f"speedup={rec['fused_speedup']:.2f}x "
+            f"verify={rec['verify_pass_seconds'] * 1e3:5.1f}ms "
+            f"sanitized={rec['batch_sanitized_seconds'] * 1e3:7.1f}ms"
+            f"@{rec['sanitized_lanes']}"
         )
     return 0
 
@@ -144,6 +216,19 @@ def test_fusion_report_shape(tmp_path):
     assert rec["batch_fused_seconds"] > 0
     assert rec["fused_speedup"] > 0
     assert rec["bit_identical_outputs"]
+    assert rec["verifier_off_seconds"] > 0
+    assert rec["verifier_on_seconds"] > 0
+    assert rec["batch_sanitized_seconds"] > 0
+
+
+def test_verifier_does_not_slow_default_path():
+    # run_verify_guard asserts t_on <= t_off * 1.02 + 2ms internally.
+    prep = load_design("counter")
+    model = prep.flow.compile()
+    n = 1024
+    stim = _uniform_stim(n, 100, 1.0)
+    t_off, t_on, verify_s, t_san, n_s = run_verify_guard(model, n, stim, 3)
+    assert verify_s > 0 and t_san > 0 and n_s <= n
 
 
 @pytest.mark.parametrize("name", DESIGNS)

@@ -6,6 +6,11 @@ stats      Parse + elaborate a design and print RTL graph statistics.
 lint       Run the static-analysis rule pack (comb loops, multiple
            drivers, width truncation, batch hazards, ...) and report
            structured diagnostics; ``--fail-on`` gates the exit code.
+verify     Translation-validation verifier: re-derive the IR invariants
+           of every lowering boundary, re-prove the fused emitter's
+           rewrites through the known-bits engine, and detect task-graph
+           scheduling hazards.  ``--selftest`` runs the mutation harness;
+           ``repro run/campaign --verify`` adds the runtime sanitizer.
 transpile  Emit the generated batch-kernel module (and optionally the
            Verilator-style scalar module) to files.
 simulate   Run a batch simulation from stimulus files (or random stimulus)
@@ -110,6 +115,87 @@ def cmd_lint(args) -> int:
 
     reports = [
         lint_source(text, top, filename=fname, rules=rules)
+        for fname, text, top in jobs
+    ]
+
+    if args.json:
+        import json
+
+        payload = [r.to_dict() for r in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2, sort_keys=True))
+    else:
+        for i, report in enumerate(reports):
+            if i:
+                print()
+            print(report.format_text())
+
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity.parse(args.fail_on)
+    return 1 if any(r.at_least(threshold) for r in reports) else 0
+
+
+def cmd_verify(args) -> int:
+    from repro.lint import Severity
+    from repro.verify import VERIFY_RULE_IDS, verify_source
+
+    if args.selftest:
+        from repro.verify.mutate import MUTATIONS, verify_selftest
+
+        rows = verify_selftest()
+        missed = [r for r in rows if not r["flagged"]]
+        if args.json:
+            import json
+
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        else:
+            table = [[r["mutation"], r["area"],
+                      "flagged" if r["flagged"] else "MISSED",
+                      ", ".join(r["rules"])] for r in rows]
+            print(format_table(
+                ["mutation", "area", "result", "rules fired"], table,
+                title=f"verifier mutation self-test "
+                      f"({len(MUTATIONS)} corruptions)",
+            ))
+            print(f"{len(rows) - len(missed)}/{len(rows)} mutations flagged")
+        return 1 if missed else 0
+
+    rules = list(VERIFY_RULE_IDS)
+    if args.rules:
+        from repro.lint import RULES
+
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = sorted(set(rules) - set(RULES))
+        if unknown:
+            raise ReproError(
+                f"unknown rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(RULES))})"
+            )
+
+    jobs = []  # (filename, text, top)
+    if args.design:
+        from repro.designs import get_design, list_designs
+
+        names = list_designs() if "all" in args.design else args.design
+        for name in names:
+            bundle = get_design(name)
+            jobs.append((f"<design:{name}>", bundle.source, bundle.top))
+    if args.sources:
+        if not args.top:
+            raise ReproError("--top is required when verifying source files")
+        texts = []
+        for path in args.sources:
+            with open(path, "r", encoding="utf-8") as fh:
+                texts.append(fh.read())
+        filename = args.sources[0] if len(args.sources) == 1 else "<input>"
+        jobs.append((filename, "\n".join(texts), args.top))
+    if not jobs:
+        raise ReproError("nothing to verify: pass source files or --design")
+
+    reports = [
+        verify_source(text, top, filename=fname, rules=rules,
+                      target_weight=args.target_weight)
         for fname, text, top in jobs
     ]
 
@@ -290,6 +376,26 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _verified_executor(model, design: str, executor: str) -> str:
+    """``--verify`` preflight: statically verify the compiled model, then
+    swap the executor for the runtime sanitizer so the run also checks
+    declared write footprints and epoch monotonicity."""
+    from repro.utils.errors import VerificationError
+    from repro.verify import verify_model
+
+    report = verify_model(model, filename=f"<design:{design}>")
+    if report.errors:
+        raise VerificationError(
+            f"{design}: verifier found {len(report.errors)} error(s):\n"
+            + "\n".join(d.format() for d in report.sorted_diagnostics()),
+            diagnostics=report.errors,
+        )
+    print(f"verify: {design} passed "
+          f"({len(report.diagnostics)} findings); sanitizer enabled",
+          file=sys.stderr)
+    return "sanitize"
+
+
 def cmd_run(args) -> int:
     """Run a bundled design with the resilience harness: lane fault
     isolation, durable periodic checkpoints, resume, fault injection."""
@@ -301,6 +407,10 @@ def cmd_run(args) -> int:
     bundle = get_design(args.design)
     flow = RTLFlow.from_source(bundle.source, bundle.top)
     model = flow.compile()
+
+    executor = args.executor
+    if args.verify:
+        executor = _verified_executor(model, args.design, executor)
 
     plan = None
     if args.inject_lane_fault or args.inject_checkpoint_failure:
@@ -331,11 +441,11 @@ def cmd_run(args) -> int:
 
     if args.groups > 1:
         sim = PipelineSimulator(
-            model, args.batch, groups=args.groups, executor=args.executor,
+            model, args.batch, groups=args.groups, executor=executor,
             fault_isolation=isolation,
         )
     else:
-        sim = BatchSimulator(model, args.batch, executor=args.executor,
+        sim = BatchSimulator(model, args.batch, executor=executor,
                              fault_isolation=isolation)
     bundle.preload(sim)
 
@@ -366,7 +476,7 @@ def cmd_run(args) -> int:
     print(format_table(
         ["output", "final values (hex, first lanes)"], rows,
         title=f"{args.design}: {args.batch} stimulus x {args.cycles} cycles "
-              f"(executor={args.executor}"
+              f"(executor={executor}"
               + (f", groups={args.groups}" if args.groups > 1 else "") + ")",
     ))
     if mgr is not None:
@@ -404,6 +514,22 @@ def cmd_campaign(args) -> int:
     from repro.designs import get_design
 
     bundle = get_design(args.design)
+
+    if args.verify:
+        from repro.utils.errors import VerificationError
+        from repro.verify import verify_source
+
+        report = verify_source(bundle.source, bundle.top,
+                               filename=f"<design:{args.design}>")
+        if report.errors:
+            raise VerificationError(
+                f"{args.design}: verifier found {len(report.errors)} "
+                "error(s):\n"
+                + "\n".join(d.format() for d in report.sorted_diagnostics()),
+                diagnostics=report.errors,
+            )
+        print(f"verify: {args.design} passed; workers will re-verify",
+              file=sys.stderr)
 
     lane_faults = []
     for s in args.inject_lane_fault:
@@ -444,6 +570,7 @@ def cmd_campaign(args) -> int:
         coverage=args.coverage,
         checkpoint_every=args.checkpoint_every or None,
         checkpoint_every_seconds=args.checkpoint_every_seconds or None,
+        verify=args.verify,
     )
     result = run_campaign(
         spec,
@@ -561,6 +688,36 @@ def build_parser() -> argparse.ArgumentParser:
                         "severity fired (default: error)")
     p.set_defaults(fn=cmd_lint)
 
+    p = sub.add_parser(
+        "verify",
+        help="translation-validation verifier: staged IR checks, "
+             "known-bits rewrite audit, task-graph hazard detection",
+    )
+    p.add_argument("sources", nargs="*", help="Verilog source files")
+    p.add_argument("--top", default=None,
+                   help="top module name (required with source files)")
+    p.add_argument("--design", action="append", default=[],
+                   metavar="NAME",
+                   help="verify a bundled design ('all' for every one; "
+                        "repeatable; see `repro designs`)")
+    p.add_argument("--rules", default=None, metavar="ID[,ID...]",
+                   help="run only these rule ids (default: the verify-* "
+                        "rule pack)")
+    p.add_argument("--target-weight", type=float, default=None,
+                   help="partitioner target weight for the compile "
+                        "under verification")
+    p.add_argument("--selftest", action="store_true",
+                   help="run the mutation self-test instead: inject "
+                        "synthetic IR corruptions and require the "
+                        "verifier to flag every one")
+    p.add_argument("--json", action="store_true",
+                   help="emit structured diagnostics as JSON")
+    p.add_argument("--fail-on", choices=["error", "warning", "info", "never"],
+                   default="error",
+                   help="exit 1 if any diagnostic at or above this "
+                        "severity fired (default: error)")
+    p.set_defaults(fn=cmd_verify)
+
     p = sub.add_parser("transpile", help="emit the batch kernel module")
     add_design_args(p)
     p.add_argument("--output", "-o", default="rtlflow_kernels.py")
@@ -649,6 +806,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="make the IDX-th checkpoint write fail (repeatable)")
     p.add_argument("--fault-report", default=None, metavar="PATH",
                    help="write the structured lane-fault report JSON here")
+    p.add_argument("--verify", action="store_true",
+                   help="statically verify the compiled IR first (fail on "
+                        "any finding), then run under the runtime "
+                        "sanitizer executor")
     add_telemetry_args(p)
     p.set_defaults(fn=cmd_run)
 
@@ -702,6 +863,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "cycles, first attempt only (repeatable)")
     p.add_argument("--fault-report", default=None, metavar="PATH",
                    help="write the merged campaign fault-report JSON here")
+    p.add_argument("--verify", action="store_true",
+                   help="statically verify the design up front and have "
+                        "every worker re-verify its rebuilt model")
     add_telemetry_args(p)
     p.set_defaults(fn=cmd_campaign)
 

@@ -80,6 +80,11 @@ class CampaignSpec:
     coverage_ports_only: bool = False
     checkpoint_every: Optional[int] = None
     checkpoint_every_seconds: Optional[float] = None
+    # Re-verify the compiled IR in every worker (repro.verify) before
+    # serving shards, and fail the campaign on any verifier error.
+    # Workers rebuild the design independently; this catches a worker
+    # whose rebuild produced corrupt IR, not just a bad input design.
+    verify: bool = False
 
     def validate(self) -> None:
         if self.n <= 0:

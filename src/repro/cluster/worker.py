@@ -88,6 +88,20 @@ class _WorkerContext:
         else:
             self.flow = RTLFlow.from_source(spec.source, spec.top, lint=False)
         self.model = self.flow.compile()
+        if spec.verify:
+            from repro.utils.errors import ClusterError
+            from repro.verify import verify_model
+
+            name = spec.design or spec.top or "<source>"
+            report = verify_model(self.model, filename=f"<design:{name}>")
+            if report.errors:
+                raise ClusterError(
+                    f"worker {worker_id}: verifier rejected the rebuilt "
+                    f"model for {name}: "
+                    + "; ".join(d.message for d in report.errors[:3])
+                    + (f" (+{len(report.errors) - 3} more)"
+                       if len(report.errors) > 3 else "")
+                )
         self._full_stimulus = None
 
     def full_stimulus(self):

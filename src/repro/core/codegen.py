@@ -55,6 +55,26 @@ def _dt_name(bits: int) -> str:
     return _NATIVE_DT[_NATIVE_BITS.index(bits)]
 
 
+@dataclass
+class AuditRecord:
+    """One rewrite claim the fused emitter made, kept for re-proving.
+
+    The fused tier drops mux branches it folded to constant zero,
+    collapses ``c ? x + 1 : x`` into a single add, truncates stores to
+    the slot's demanded width, and lane-packs 1-bit stores.  Each such
+    rewrite appends a record naming the claim; the translation validator
+    (:func:`repro.verify.ir_checks.check_audit`) re-establishes every
+    claim through an independent known-bits analysis, so an emitter bug
+    surfaces as a verification error instead of silent corruption.
+    """
+
+    kind: str  # const0-branch | inc-mux | demand-store | packed-store
+    node: int  # RTL node id being emitted (-1 when unknown)
+    target: str  # driven signal of that node
+    expr: Optional[A.Expr] = None  # the expression the claim is about
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
 # Compiled-code-object cache, keyed by the content-addressed pseudo-
 # filename.  Cluster shards simulating the same design produce identical
 # generated source, so they share one compile() instead of recompiling
@@ -378,6 +398,17 @@ class FusedExprCodegen(ExprCodegen):
         # ahead of each node's store statement.
         self._prelude: List[str] = []
         self._tmp_n = 0
+        # Rewrite audit trail for the translation validator; the program
+        # generator stamps the node being emitted into audit_node/target.
+        self.audit: List[AuditRecord] = []
+        self.audit_node = -1
+        self.audit_target = ""
+
+    def _record(self, kind: str, expr: Optional[A.Expr] = None,
+                **detail) -> None:
+        self.audit.append(AuditRecord(
+            kind=kind, node=self.audit_node, target=self.audit_target,
+            expr=expr, detail=detail))
 
     def _temp(self, code: str) -> str:
         """Bind ``code`` to a fresh program-local temp (used >1 time)."""
@@ -465,9 +496,11 @@ class FusedExprCodegen(ExprCodegen):
             # A constant-zero branch drops out of the blend entirely
             # (x & 0 == 0): common for reset muxes.
             if self._fold(e.then) == 0:
+                self._record("const0-branch", e.then)
                 m = self._temp(mask)
                 return f"(({self.emit(e.other)}) & ~{m})", 1
             if self._fold(e.other) == 0:
+                self._record("const0-branch", e.other)
                 m = self._temp(mask)
                 return f"(({self.emit(e.then)}) & {m})", 1
             m = self._temp(mask)
@@ -637,6 +670,7 @@ class FusedExprCodegen(ExprCodegen):
                 mask = self._cond_mask(e.cond, f[1])
                 if mask is None:
                     return None
+                self._record("const0-branch", e.then)
                 m = self._temp(mask)
                 return f"(({f[0]}) & ~{m})", f[1]
             if self._fold(e.other) == 0:
@@ -646,6 +680,7 @@ class FusedExprCodegen(ExprCodegen):
                 mask = self._cond_mask(e.cond, t[1])
                 if mask is None:
                     return None
+                self._record("const0-branch", e.other)
                 m = self._temp(mask)
                 return f"(({t[0]}) & {m})", t[1]
             t = self.emit_native(e.then, demand)
@@ -765,6 +800,7 @@ class FusedExprCodegen(ExprCodegen):
         c01 = self._cond01(e.cond)
         if c01 is None:
             return None
+        self._record("inc-mux", e)
         out = f"(({code}) + ({c01}))"
         if demand is None and e.ctx_width < bits:
             out = f"(({out}) & {_dt_name(bits)}({bv.mask(e.ctx_width)}))"
@@ -1331,6 +1367,8 @@ class FusedPrograms:
     source: str
     namespace: Dict[str, object]
     transpile_seconds: float = 0.0
+    # Rewrite claims the emitter made, for the translation validator.
+    audit: List[AuditRecord] = field(default_factory=list)
 
 
 class FusedProgramCodegen(KernelCodegen):
@@ -1363,13 +1401,18 @@ class FusedProgramCodegen(KernelCodegen):
             c = self.expr._fold(expr)
             if c is not None:
                 # Assignment to a 1-bit target keeps the low bit only.
+                self.expr._record("packed-store", expr, mode="const",
+                                  value=c & 1)
                 return f"{tgt} = {'pk.ones(N)' if (c & 1) else 'pk.zeros(N)'}"
             pcode = self.expr.emit_packed(expr)
             if pcode is not None:
+                self.expr._record("packed-store", expr, mode="packed")
                 return f"{tgt} = {pcode}"
             nat = self.expr.emit_native(expr, 1)  # pack keeps the low bit
             if nat is not None:
+                self.expr._record("packed-store", expr, mode="native")
                 return f"{tgt} = pk.pack({nat[0]}, N)"
+            self.expr._record("packed-store", expr, mode="fallback")
             return f"{tgt} = pk.pack({self.expr.emit_narrow(expr)}, N)"
         if slot.limbs == 1:
             nat = self.expr.emit_native(expr, slot.width)
@@ -1380,8 +1423,11 @@ class FusedProgramCodegen(KernelCodegen):
                 # compute dtype is wider than the slot, and it survives
                 # the store only when the pool dtype is wider too (equal
                 # widths truncate on assignment).
-                if slot.width < min(bits, _NATIVE_BITS[slot.pool]):
+                masked = slot.width < min(bits, _NATIVE_BITS[slot.pool])
+                if masked:
                     code = f"({code}) & {_dt_name(bits)}({bv.mask(slot.width)})"
+                self.expr._record("demand-store", expr, demand=slot.width,
+                                  bits=bits, masked=masked)
                 return (
                     f"{self.mapper.store_target(target, shadow=shadow)} = {code}"
                 )
@@ -1399,6 +1445,8 @@ class FusedProgramCodegen(KernelCodegen):
         any_stmt = False
         for tid in tids:
             for nid in self.tg.tasks[tid].nodes:
+                self.expr.audit_node = nid
+                self.expr.audit_target = self.graph.nodes[nid].target
                 stmts = self._node_stmts(self.graph.nodes[nid])
                 # Mask temporaries hoisted while emitting this node's
                 # expressions; they only read design state, so they are
@@ -1486,6 +1534,7 @@ class FusedProgramCodegen(KernelCodegen):
             source=source,
             namespace=ns,
             transpile_seconds=elapsed,
+            audit=list(self.expr.audit),
         )
 
 

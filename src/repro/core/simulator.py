@@ -75,6 +75,12 @@ def make_executor(
         return ConditionalGraphExecutor(model, device, **kwargs)
     if kind == "stream":
         return StreamExecutor(model, device, **kwargs)
+    if kind in ("sanitize", "sanitized"):
+        # Lazy import: repro.verify pulls in the lint registry, which
+        # plain simulation never needs.
+        from repro.verify.hazards import RuntimeSanitizer
+
+        return RuntimeSanitizer(model, device, **kwargs)
     raise SimulationError(f"unknown executor kind {kind!r}")
 
 

@@ -133,9 +133,30 @@ class LintReport:
 
     # -- rendering -------------------------------------------------------------
 
+    @staticmethod
+    def _render_key(d: Diagnostic):
+        loc = d.loc
+        return (
+            loc.filename if loc else "",
+            loc.line if loc else 0,
+            loc.col if loc else 0,
+            d.rule_id,
+        )
+
+    def sorted_diagnostics(self) -> List[Diagnostic]:
+        """Diagnostics in render order: (file, line, col, rule id).
+
+        The sort is stable, so findings of one rule at one location keep
+        their discovery order; ``diagnostics`` itself stays in insertion
+        order (``RTLFlow.from_source`` surfaces ``errors[0]``).
+        Rendering through this accessor makes text and JSON output
+        byte-identical across runs regardless of rule execution order.
+        """
+        return sorted(self.diagnostics, key=self._render_key)
+
     def format_text(self) -> str:
         """The classic compiler-style listing plus a one-line summary."""
-        lines = [d.format() for d in self.diagnostics]
+        lines = [d.format() for d in self.sorted_diagnostics()]
         c = self.counts()
         summary = (
             f"{self.top}: {c['error']} error(s), {c['warning']} warning(s), "
@@ -151,8 +172,11 @@ class LintReport:
             "top": self.top,
             "file": self.filename,
             "counts": self.counts(),
-            "diagnostics": [d.to_dict() for d in self.diagnostics],
-            "waived": [d.to_dict() for d in self.waived],
+            "diagnostics": [d.to_dict() for d in self.sorted_diagnostics()],
+            "waived": [
+                d.to_dict()
+                for d in sorted(self.waived, key=self._render_key)
+            ],
         }
 
     def to_json(self, indent: int = 2) -> str:

@@ -52,6 +52,20 @@ def _error_to_diag(rule_id: str, exc: ReproError) -> Diagnostic:
     )
 
 
+# Stage name -> the LintContext attribute that must exist for rules of
+# that stage to run.  'graph' rules need the RtlGraph; 'taskgraph' and
+# 'fused' rules (the verifier's stages, see repro.verify) need the
+# partitioned TaskGraph / the CompiledModel respectively.
+_STAGE_ATTR = {
+    "flat": "flat",
+    "lowered": "lowered",
+    "optimized": "optimized",
+    "graph": "graph",
+    "taskgraph": "taskgraph",
+    "fused": "model",
+}
+
+
 def _run_rules(
     ctx: LintContext,
     report: LintReport,
@@ -60,9 +74,8 @@ def _run_rules(
 ) -> None:
     """Apply every selected rule whose stage artifact exists."""
     for r in _select_rules(only):
-        if r.stage == "flat" and ctx.flat is None:
-            continue
-        if r.stage == "lowered" and ctx.lowered is None:
+        attr = _STAGE_ATTR.get(r.stage)
+        if attr is not None and getattr(ctx, attr, None) is None:
             continue
         for diag in r.fn(ctx):
             if waivers is not None and waivers.is_waived(diag):

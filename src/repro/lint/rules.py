@@ -88,7 +88,13 @@ class LintContext:
     lowered: Optional[LoweredDesign] = None  # pre-optimization
     optimized: Optional[LoweredDesign] = None
     graph: Optional[RtlGraph] = None
+    # Verifier stages (see repro.verify): the partitioned TaskGraph and
+    # the CompiledModel.  Kept untyped to avoid importing the heavy
+    # partition/codegen modules for plain lint runs.
+    taskgraph: Optional[object] = None
+    model: Optional[object] = None
     _synthetic: Optional[Set[str]] = field(default=None, repr=False)
+    _kb_env: Optional[Dict[str, object]] = field(default=None, repr=False)
 
     # -- helpers shared by rules -------------------------------------------
 
@@ -138,6 +144,14 @@ class LintContext:
             except ValueError:
                 return base
         return name
+
+    def knownbits_env(self) -> Dict[str, object]:
+        """Cached known-bits facts per signal (requires ``graph``)."""
+        if self._kb_env is None:
+            from repro.verify.knownbits import analyze_graph
+
+            self._kb_env = analyze_graph(self.graph)
+        return self._kb_env
 
 
 # ---------------------------------------------------------------------------
@@ -820,3 +834,177 @@ def check_mem_bounds(ctx: LintContext) -> Iterable[Diagnostic]:
         for mw in blk.mem_writes:
             for e in (mw.cond, mw.data):
                 yield from scan_reads(e)
+
+
+# ---------------------------------------------------------------------------
+# Dataflow rules (graph stage) — powered by the known-bits engine
+# ---------------------------------------------------------------------------
+
+
+def _kb_describe(always: bool) -> str:
+    return "always true" if always else "always false"
+
+
+@rule(
+    "const-cond",
+    Severity.WARNING,
+    "graph",
+    "a mux/branch condition is provably constant, so one branch is dead",
+)
+def check_const_cond(ctx: LintContext) -> Iterable[Diagnostic]:
+    from repro.verify import knownbits as kb
+
+    graph = ctx.graph
+    assert graph is not None
+    env = ctx.knownbits_env()
+    seen: Set[Tuple[str, str, bool]] = set()
+    for node in graph.nodes:
+        for expr in node.exprs():
+            for sub in A.walk_expr(expr):
+                if not isinstance(sub, A.Ternary):
+                    continue
+                if try_const(sub.cond) is not None:
+                    continue  # literal constant: parameter math, not a bug
+                t = kb.expr_bits(sub.cond, env, graph).truth()
+                if t is None:
+                    continue
+                key = (node.target, _expr_text(sub.cond), t)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield Diagnostic(
+                    "const-cond",
+                    Severity.WARNING,
+                    f"condition {_expr_text(sub.cond)!r} in the logic of "
+                    f"{ctx.display_name(node.target)!r} is "
+                    f"{_kb_describe(t)}; the "
+                    f"{'else' if t else 'then'} branch is dead",
+                    hint="the known-bits analysis proves the condition "
+                    "constant for every reachable value; simplify the "
+                    "expression or fix the width/reset logic",
+                    loc=ctx.loc_of(node.target),
+                    subject=node.target,
+                )
+
+
+@rule(
+    "const-compare",
+    Severity.WARNING,
+    "graph",
+    "a comparison always evaluates the same way",
+)
+def check_const_compare(ctx: LintContext) -> Iterable[Diagnostic]:
+    from repro.verify import knownbits as kb
+
+    graph = ctx.graph
+    assert graph is not None
+    env = ctx.knownbits_env()
+    seen: Set[Tuple[str, str, bool]] = set()
+    for node in graph.nodes:
+        for expr in node.exprs():
+            for sub in A.walk_expr(expr):
+                if not (isinstance(sub, A.Binary)
+                        and sub.op in ("==", "!=", "<", "<=", ">", ">=")):
+                    continue
+                if try_const(sub) is not None:
+                    continue  # fully constant: folded parameter math
+                cw = max(sub.left.ctx_width or sub.left.width,
+                         sub.right.ctx_width or sub.right.width)
+                if cw <= 0:
+                    continue
+                left = kb.expr_bits(sub.left, env, graph, width=cw)
+                right = kb.expr_bits(sub.right, env, graph, width=cw)
+                r = kb.compare(sub.op, left, right)
+                if r is None:
+                    continue
+                key = (node.target, _expr_text(sub), r)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield Diagnostic(
+                    "const-compare",
+                    Severity.WARNING,
+                    f"comparison {_expr_text(sub)!r} in the logic of "
+                    f"{ctx.display_name(node.target)!r} is "
+                    f"{_kb_describe(r)}",
+                    hint="the operand ranges can never make this "
+                    "comparison vary (often a width mismatch: a narrow "
+                    "counter compared against an unreachable bound)",
+                    loc=ctx.loc_of(node.target),
+                    subject=node.target,
+                )
+
+
+@rule(
+    "redundant-mask",
+    Severity.INFO,
+    "graph",
+    "an AND mask keeps every bit that can be set — it does nothing",
+)
+def check_redundant_mask(ctx: LintContext) -> Iterable[Diagnostic]:
+    from repro.verify import knownbits as kb
+
+    graph = ctx.graph
+    assert graph is not None
+    env = ctx.knownbits_env()
+    seen: Set[Tuple[str, str]] = set()
+    for node in graph.nodes:
+        for expr in node.exprs():
+            for sub in A.walk_expr(expr):
+                if not (isinstance(sub, A.Binary) and sub.op == "&"):
+                    continue
+                w = sub.ctx_width or sub.width
+                if w <= 0 or w > 64:
+                    continue
+                full = (1 << w) - 1
+                for m_e, x_e in ((sub.left, sub.right),
+                                 (sub.right, sub.left)):
+                    m = try_const(m_e)
+                    if m is None or (m & full) == full:
+                        continue  # no mask, or an all-ones literal
+                    if try_const(x_e) is not None:
+                        continue
+                    x = kb.expr_bits(x_e, env, graph, width=w)
+                    if x.max_value & ~m & full:
+                        continue  # the mask clears at least one live bit
+                    key = (node.target, _expr_text(sub))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield Diagnostic(
+                        "redundant-mask",
+                        Severity.INFO,
+                        f"mask {_expr_text(sub)!r} in the logic of "
+                        f"{ctx.display_name(node.target)!r} keeps every "
+                        "bit the operand can set; the AND is a no-op",
+                        hint="drop the mask, or widen it if the operand "
+                        "was meant to carry more bits",
+                        loc=ctx.loc_of(node.target),
+                        subject=node.target,
+                    )
+                    break
+
+
+def _expr_text(e: A.Expr, depth: int = 0) -> str:
+    """Compact single-line rendering of an expression for messages."""
+    if depth > 4:
+        return "..."
+    if isinstance(e, A.Number):
+        return str(e.value)
+    if isinstance(e, A.Ident):
+        return e.name
+    if isinstance(e, A.Unary):
+        return f"{e.op}{_expr_text(e.operand, depth + 1)}"
+    if isinstance(e, A.Binary):
+        return (f"{_expr_text(e.left, depth + 1)} {e.op} "
+                f"{_expr_text(e.right, depth + 1)}")
+    if isinstance(e, A.Ternary):
+        return (f"{_expr_text(e.cond, depth + 1)} ? "
+                f"{_expr_text(e.then, depth + 1)} : "
+                f"{_expr_text(e.other, depth + 1)}")
+    if isinstance(e, A.Index):
+        return f"{e.base}[{_expr_text(e.index, depth + 1)}]"
+    if isinstance(e, A.PartSelect):
+        return (f"{e.base}[{_expr_text(e.msb, depth + 1)}:"
+                f"{_expr_text(e.lsb, depth + 1)}]")
+    return type(e).__name__.lower()

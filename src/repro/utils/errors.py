@@ -95,6 +95,24 @@ class SimulationError(ReproError):
     """A runtime failure while simulating (bad stimulus, comb loop, etc.)."""
 
 
+class SanitizerError(SimulationError):
+    """The runtime sanitizer caught a scheduling-contract violation: a
+    task wrote outside its declared footprint, two tasks in one phase
+    wrote the same offset, or write epochs went non-monotone (see
+    :class:`repro.verify.hazards.RuntimeSanitizer`)."""
+
+
+class VerificationError(ReproError):
+    """Static verification found an error-severity finding raised from an
+    API entry point (``repro verify`` reports without raising; ``--verify``
+    on run/campaign raises this).  ``diagnostics`` holds every
+    error-level finding."""
+
+    def __init__(self, message: str, diagnostics=(), **kw):
+        super().__init__(message, **kw)
+        self.diagnostics = list(diagnostics)
+
+
 class ResilienceError(ReproError):
     """Base class for fault-tolerance failures (checkpointing, watchdogs)."""
 

@@ -1,0 +1,575 @@
+"""Structural IR verifier passes for every lowering boundary.
+
+Each ``check_*`` function re-derives an invariant that some builder
+(:func:`repro.rtlir.build.build_graph`, the partitioner,
+:class:`~repro.core.memory.MemoryLayout`, the fused codegen) is supposed
+to establish, **from first principles**, and reports any divergence as
+an ERROR :class:`~repro.lint.diagnostics.Diagnostic`.  The checks share
+no code with the builders they validate — that independence is the
+point: a bug (or an injected mutation, see :mod:`repro.verify.mutate`)
+in either side shows up as a mismatch.
+
+These are pure functions over in-memory IR; the staged rule wrappers in
+:mod:`repro.verify.rules` adapt them to the lint engine and attach
+source locations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.memory import PACKED_POOL, MemoryLayout
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.partition.taskgraph import TaskGraph
+from repro.rtlir.graph import NodeKind, RtlGraph
+
+__all__ = [
+    "check_graph",
+    "check_taskgraph",
+    "check_layout",
+    "check_fused",
+    "check_audit",
+]
+
+#: Element width in bits of the four scalar pools (var8..var64).
+_POOL_BITS = (8, 16, 32, 64)
+_EDGES = ("posedge", "negedge")
+
+
+def _err(rule_id: str, msg: str, subject: Optional[str] = None,
+         hint: str = "") -> Diagnostic:
+    return Diagnostic(rule_id=rule_id, severity=Severity.ERROR,
+                      message=msg, hint=hint, subject=subject)
+
+
+# ---------------------------------------------------------------------------
+# RtlGraph well-formedness
+# ---------------------------------------------------------------------------
+
+
+def check_graph(graph: RtlGraph) -> List[Diagnostic]:
+    """Re-derive every invariant :func:`build_graph` promises."""
+    rid = "verify-graph"
+    out: List[Diagnostic] = []
+    design = graph.design
+    declared = set(design.signals) | set(design.memories)
+
+    for i, node in enumerate(graph.nodes):
+        if node.nid != i:
+            out.append(_err(rid, f"node at index {i} carries nid {node.nid}",
+                            subject=node.target))
+        if node.kind is NodeKind.COMB:
+            if node.clock is not None:
+                out.append(_err(
+                    rid, f"comb node {i} ({node.target}) has a clock "
+                    f"({node.clock})", subject=node.target))
+            if node.target not in design.signals:
+                out.append(_err(rid, f"comb node {i} drives undeclared "
+                                f"signal {node.target!r}", subject=node.target))
+        else:
+            if node.clock is None:
+                out.append(_err(
+                    rid, f"{node.kind.value} node {i} ({node.target}) has "
+                    "no clock", subject=node.target))
+            if node.edge not in _EDGES:
+                out.append(_err(
+                    rid, f"{node.kind.value} node {i} ({node.target}) has "
+                    f"invalid edge {node.edge!r}", subject=node.target))
+            if node.kind is NodeKind.SEQ and node.target not in design.signals:
+                out.append(_err(rid, f"seq node {i} drives undeclared "
+                                f"signal {node.target!r}", subject=node.target))
+            if node.kind is NodeKind.MEMW and node.target not in design.memories:
+                out.append(_err(rid, f"memw node {i} writes undeclared "
+                                f"memory {node.target!r}", subject=node.target))
+        for name in node.reads:
+            if name not in declared:
+                out.append(_err(rid, f"node {i} ({node.target}) reads "
+                                f"undeclared name {name!r}",
+                                subject=node.target))
+
+    # Producer map: exactly one entry per comb node, pointing back at it.
+    comb_nids = [n.nid for n in graph.nodes if n.kind is NodeKind.COMB]
+    expected_producer = {}
+    for nid in comb_nids:
+        t = graph.nodes[nid].target
+        if t in expected_producer:
+            out.append(_err(rid, f"signal {t!r} driven by two comb nodes "
+                            f"({expected_producer[t]} and {nid})", subject=t))
+        expected_producer[t] = nid
+    if graph.producer != expected_producer:
+        extra = set(graph.producer) ^ set(expected_producer)
+        wrong = {t for t in set(graph.producer) & set(expected_producer)
+                 if graph.producer[t] != expected_producer[t]}
+        out.append(_err(
+            rid, "producer map diverges from comb node targets "
+            f"(mismatched: {sorted(extra | wrong)[:5]})"))
+
+    # Edges: recompute preds from reads x producer, compare both directions.
+    for nid in comb_nids:
+        node = graph.nodes[nid]
+        expect: Set[int] = set()
+        for name in node.reads:
+            p = expected_producer.get(name)
+            if p is not None:
+                expect.add(p)
+        if nid in expect:
+            out.append(_err(rid, f"comb node {nid} ({node.target}) depends "
+                            "on itself", subject=node.target))
+            expect.discard(nid)
+        have = graph.preds.get(nid, set())
+        if have != expect:
+            out.append(_err(
+                rid, f"comb node {nid} ({node.target}) preds {sorted(have)} "
+                f"!= recomputed {sorted(expect)}", subject=node.target))
+    recomputed_succs: Dict[int, Set[int]] = {nid: set() for nid in comb_nids}
+    for nid in comb_nids:
+        for p in graph.preds.get(nid, ()):
+            if p in recomputed_succs:
+                recomputed_succs[p].add(nid)
+    for nid in comb_nids:
+        have = graph.succs.get(nid, set())
+        if have != recomputed_succs[nid]:
+            out.append(_err(
+                rid, f"comb node {nid} succs {sorted(have)} inconsistent "
+                f"with preds (expected {sorted(recomputed_succs[nid])})",
+                subject=graph.nodes[nid].target))
+
+    # Topological order: a permutation of the comb nodes, preds-first.
+    if sorted(graph.comb_order) != sorted(comb_nids):
+        out.append(_err(
+            rid, f"comb_order is not a permutation of the comb nodes "
+            f"({len(graph.comb_order)} scheduled, {len(comb_nids)} exist)"))
+    else:
+        pos = {nid: i for i, nid in enumerate(graph.comb_order)}
+        for nid in comb_nids:
+            for p in graph.preds.get(nid, ()):
+                if pos.get(p, -1) > pos[nid]:
+                    out.append(_err(
+                        rid, f"comb_order schedules node {nid} "
+                        f"({graph.nodes[nid].target}) before its "
+                        f"dependency {p}", subject=graph.nodes[nid].target))
+
+    # Levels: comb nodes sit at level >= 0, edges strictly increase level,
+    # and the level lists agree with the per-node annotation.
+    for nid in comb_nids:
+        node = graph.nodes[nid]
+        if node.level < 0:
+            out.append(_err(rid, f"comb node {nid} ({node.target}) has no "
+                            "level", subject=node.target))
+            continue
+        for p in graph.preds.get(nid, ()):
+            if graph.nodes[p].level >= node.level:
+                out.append(_err(
+                    rid, f"edge {p}->{nid} does not increase level "
+                    f"({graph.nodes[p].level} >= {node.level})",
+                    subject=node.target))
+    level_members = {nid for lv in graph.levels for nid in lv}
+    if level_members != set(comb_nids):
+        out.append(_err(rid, "levels do not partition the comb nodes"))
+    else:
+        for i, lv in enumerate(graph.levels):
+            for nid in lv:
+                if graph.nodes[nid].level != i:
+                    out.append(_err(
+                        rid, f"node {nid} listed at level {i} but annotated "
+                        f"level {graph.nodes[nid].level}",
+                        subject=graph.nodes[nid].target))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# TaskGraph invariants
+# ---------------------------------------------------------------------------
+
+
+def check_taskgraph(tg: TaskGraph) -> List[Diagnostic]:
+    rid = "verify-taskgraph"
+    out: List[Diagnostic] = []
+    graph = tg.graph
+
+    # Exact cover: every RTL node in exactly one task; node_task inverse.
+    seen: Dict[int, int] = {}
+    for task in tg.tasks:
+        for nid in task.nodes:
+            if nid in seen:
+                out.append(_err(rid, f"node {nid} assigned to tasks "
+                                f"{seen[nid]} and {task.tid}"))
+            seen[nid] = task.tid
+    expected = {n.nid for n in graph.nodes}
+    if set(seen) != expected:
+        missing = sorted(expected - set(seen))[:5]
+        stray = sorted(set(seen) - expected)[:5]
+        out.append(_err(rid, f"task cover mismatch (missing nodes "
+                        f"{missing}, stray {stray})"))
+    if tg.node_task != seen:
+        wrong = [n for n in set(tg.node_task) & set(seen)
+                 if tg.node_task[n] != seen[n]]
+        out.append(_err(rid, "node_task map inconsistent with task "
+                        f"membership (e.g. nodes {sorted(wrong)[:5]})"))
+
+    # Per-task uniformity: kind and clock domain must match the nodes.
+    for task in tg.tasks:
+        for nid in task.nodes:
+            if nid < 0 or nid >= len(graph.nodes):
+                out.append(_err(rid, f"task {task.tid} references "
+                                f"nonexistent node {nid}"))
+                continue
+            node = graph.nodes[nid]
+            if task.kind is NodeKind.COMB:
+                if node.kind is not NodeKind.COMB:
+                    out.append(_err(
+                        rid, f"comb task {task.tid} contains "
+                        f"{node.kind.value} node {nid} ({node.target})",
+                        subject=node.target))
+            else:
+                if node.kind is NodeKind.COMB:
+                    out.append(_err(
+                        rid, f"seq task {task.tid} contains comb node "
+                        f"{nid} ({node.target})", subject=node.target))
+                elif (node.clock, node.edge) != (task.clock, task.edge):
+                    out.append(_err(
+                        rid, f"task {task.tid} domain ({task.clock}, "
+                        f"{task.edge}) != node {nid} domain "
+                        f"({node.clock}, {node.edge})", subject=node.target))
+
+    # Task edges: recompute from the node graph through the cover.
+    comb_tids = [t.tid for t in tg.tasks if t.kind is NodeKind.COMB]
+    expect_preds: Dict[int, Set[int]] = {t: set() for t in comb_tids}
+    expect_succs: Dict[int, Set[int]] = {t: set() for t in comb_tids}
+    for tid in comb_tids:
+        for nid in tg.tasks[tid].nodes:
+            for p in graph.preds.get(nid, ()):
+                pt = seen.get(p)
+                if pt is not None and pt != tid:
+                    expect_preds[tid].add(pt)
+                    expect_succs[pt].add(tid)
+    for tid in comb_tids:
+        if tg.preds.get(tid, set()) != expect_preds[tid]:
+            out.append(_err(
+                rid, f"task {tid} preds {sorted(tg.preds.get(tid, ()))} != "
+                f"recomputed {sorted(expect_preds[tid])}"))
+        if tg.succs.get(tid, set()) != expect_succs[tid]:
+            out.append(_err(
+                rid, f"task {tid} succs {sorted(tg.succs.get(tid, ()))} != "
+                f"recomputed {sorted(expect_succs[tid])}"))
+
+    # Schedule: comb_topo a permutation in dependency order, levels rise.
+    if sorted(tg.comb_topo) != sorted(comb_tids):
+        out.append(_err(rid, "comb_topo is not a permutation of the comb "
+                        f"tasks ({len(tg.comb_topo)} scheduled, "
+                        f"{len(comb_tids)} exist)"))
+    else:
+        pos = {tid: i for i, tid in enumerate(tg.comb_topo)}
+        for tid in comb_tids:
+            for p in expect_preds[tid]:
+                if pos[p] > pos[tid]:
+                    out.append(_err(rid, f"comb_topo schedules task {tid} "
+                                    f"before its dependency {p}"))
+        for tid in comb_tids:
+            for p in expect_preds[tid]:
+                if tg.tasks[p].level >= tg.tasks[tid].level:
+                    out.append(_err(
+                        rid, f"task edge {p}->{tid} does not increase level "
+                        f"({tg.tasks[p].level} >= {tg.tasks[tid].level})"))
+
+    if sorted(tg.seq_tasks) != sorted(
+            t.tid for t in tg.tasks if t.kind is NodeKind.SEQ):
+        out.append(_err(rid, "seq_tasks list inconsistent with task kinds"))
+
+    # SEQ register write-disjointness per clock domain: two next-value
+    # computations for one register would race at commit.
+    writers: Dict[Tuple[str, str, str], List[int]] = {}
+    for task in tg.tasks:
+        if task.kind is NodeKind.COMB:
+            continue
+        for nid in task.nodes:
+            if nid < 0 or nid >= len(graph.nodes):
+                continue
+            node = graph.nodes[nid]
+            if node.kind is NodeKind.SEQ:
+                key = (node.clock or "", node.edge, node.target)
+                writers.setdefault(key, []).append(nid)
+    for (clock, edge, target), nids in sorted(writers.items()):
+        if len(nids) > 1:
+            out.append(_err(
+                rid, f"register {target!r} has {len(nids)} next-value "
+                f"drivers in domain ({clock}, {edge}): nodes {sorted(nids)}",
+                subject=target))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Memory layout: offset disjointness and bounds
+# ---------------------------------------------------------------------------
+
+
+def check_layout(layout: MemoryLayout) -> List[Diagnostic]:
+    rid = "verify-layout"
+    out: List[Diagnostic] = []
+    # Per pool, every occupied [lo, hi) interval with its owner label.
+    intervals: Dict[int, List[Tuple[int, int, str]]] = {}
+
+    def claim(pool: int, lo: int, size: int, owner: str) -> None:
+        intervals.setdefault(pool, []).append((lo, lo + size, owner))
+
+    for name, slot in layout.slots.items():
+        if slot.pool == PACKED_POOL:
+            if not layout.packed:
+                out.append(_err(rid, f"slot {name!r} in packed pool of an "
+                                "unpacked layout", subject=name))
+            if slot.width != 1:
+                out.append(_err(
+                    rid, f"packed slot {name!r} has width {slot.width} "
+                    "(only 1-bit signals may be lane-packed)", subject=name))
+            if slot.limbs != 1:
+                out.append(_err(rid, f"packed slot {name!r} has "
+                                f"{slot.limbs} limbs", subject=name))
+        elif slot.pool in (0, 1, 2):
+            if slot.limbs != 1:
+                out.append(_err(rid, f"slot {name!r} in pool {slot.pool} "
+                                f"has {slot.limbs} limbs", subject=name))
+            if slot.width > _POOL_BITS[slot.pool]:
+                out.append(_err(
+                    rid, f"slot {name!r} width {slot.width} exceeds pool "
+                    f"var{_POOL_BITS[slot.pool]}", subject=name))
+        elif slot.pool == 3:
+            need = max(1, -(-slot.width // 64))
+            if slot.limbs != need:
+                out.append(_err(
+                    rid, f"slot {name!r} width {slot.width} needs {need} "
+                    f"limb(s), allocated {slot.limbs}", subject=name))
+        else:
+            out.append(_err(rid, f"slot {name!r} in unknown pool "
+                            f"{slot.pool}", subject=name))
+            continue
+        claim(slot.pool, slot.offset, slot.limbs, name)
+        if slot.is_state:
+            if slot.next_offset is None:
+                out.append(_err(rid, f"state slot {name!r} has no shadow "
+                                "(next_offset)", subject=name))
+            else:
+                claim(slot.pool, slot.next_offset, slot.limbs, f"{name}.next")
+    for name, ms in layout.mems.items():
+        if ms.pool == PACKED_POOL:
+            out.append(_err(rid, f"memory {name!r} placed in the packed "
+                            "pool", subject=name))
+            continue
+        claim(ms.pool, ms.base, max(ms.depth, 0), f"mem:{name}")
+    for nid, sc in layout.scratch.items():
+        for label, slot in (("cond", sc.cond), ("addr", sc.addr),
+                            ("data", sc.data)):
+            if slot.pool == PACKED_POOL:
+                out.append(_err(rid, f"memw scratch {label} of node {nid} "
+                                "placed in the packed pool"))
+                continue
+            claim(slot.pool, slot.offset, slot.limbs,
+                  f"scratch{nid}.{label}")
+
+    sizes = list(layout.pool_sizes) + [0] * (PACKED_POOL + 1 -
+                                             len(layout.pool_sizes))
+    sizes[PACKED_POOL] = layout.packed_size
+    for pool, ivs in sorted(intervals.items()):
+        cap = sizes[pool] if pool <= PACKED_POOL else -1
+        ivs.sort()
+        prev_hi, prev_owner = 0, ""
+        for lo, hi, owner in ivs:
+            if lo < 0 or hi > cap:
+                out.append(_err(
+                    rid, f"{owner} occupies [{lo}, {hi}) outside pool "
+                    f"{pool} of size {cap}", subject=owner.split(".")[0]))
+            if lo < prev_hi:
+                out.append(_err(
+                    rid, f"pool {pool} overlap: {owner} [{lo}, {hi}) "
+                    f"collides with {prev_owner}",
+                    subject=owner.split(".")[0]))
+            if hi > prev_hi:
+                prev_hi, prev_owner = hi, owner
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fused-program bundle consistency
+# ---------------------------------------------------------------------------
+
+
+def _check_mem_bindings(rid: str, bindings, layout: MemoryLayout,
+                        graph: RtlGraph) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    memw_nids = {n.nid for n in graph.nodes if n.kind is NodeKind.MEMW}
+    bound = set()
+    for b in bindings:
+        if b.node_id in bound:
+            out.append(_err(rid, f"memory write node {b.node_id} bound "
+                            "twice"))
+        bound.add(b.node_id)
+        if b.node_id not in memw_nids:
+            out.append(_err(rid, f"binding references node {b.node_id}, "
+                            "which is not a memory write"))
+            continue
+        node = graph.nodes[b.node_id]
+        if (b.clock, b.edge) != (node.clock, node.edge):
+            out.append(_err(
+                rid, f"binding for node {b.node_id} carries domain "
+                f"({b.clock}, {b.edge}) != node ({node.clock}, "
+                f"{node.edge})", subject=node.target))
+        ms = layout.mems.get(node.target)
+        if ms is None or (b.mem_pool, b.mem_base, b.mem_depth) != (
+                ms.pool, ms.base, ms.depth):
+            out.append(_err(rid, f"binding for node {b.node_id} does not "
+                            f"match the layout of memory {node.target!r}",
+                            subject=node.target))
+        sc = layout.scratch.get(b.node_id)
+        if sc is None:
+            out.append(_err(rid, f"no scratch allocated for memory write "
+                            f"node {b.node_id}", subject=node.target))
+        elif ((b.cond_pool, b.cond_off) != (sc.cond.pool, sc.cond.offset)
+              or (b.addr_pool, b.addr_off) != (sc.addr.pool, sc.addr.offset)
+              or (b.data_pool, b.data_off) != (sc.data.pool, sc.data.offset)):
+            out.append(_err(rid, f"binding for node {b.node_id} diverges "
+                            "from its scratch slots", subject=node.target))
+    for nid in sorted(memw_nids - bound):
+        out.append(_err(rid, f"memory write node {nid} "
+                        f"({graph.nodes[nid].target}) has no commit "
+                        "binding", subject=graph.nodes[nid].target))
+    return out
+
+
+def check_fused(model) -> List[Diagnostic]:
+    """Fused bundle vs model: domains, node counts, commit bindings."""
+    rid = "verify-fused"
+    out: List[Diagnostic] = []
+    tg = model.taskgraph
+    graph = model.graph
+    fused = model.fused()
+
+    domains = set(model.clock_domains())
+    have = set(fused.seq.keys())
+    if have != domains:
+        out.append(_err(
+            rid, f"fused sequential programs cover domains {sorted(have)} "
+            f"but the model has {sorted(domains)} — the trigger-set plan "
+            "cache would miss a clock domain"))
+
+    n_comb = sum(len(tg.tasks[t].nodes) for t in tg.comb_topo)
+    if fused.comb.n_nodes != n_comb:
+        out.append(_err(rid, f"fused comb program claims "
+                        f"{fused.comb.n_nodes} nodes, task graph has "
+                        f"{n_comb}"))
+    per_dom: Dict[Tuple[str, str], int] = {}
+    for t in tg.tasks:
+        if t.kind is NodeKind.SEQ:
+            dom = (t.clock, t.edge)
+            per_dom[dom] = per_dom.get(dom, 0) + len(t.nodes)
+    for dom, prog in fused.seq.items():
+        if dom in per_dom and prog.n_nodes != per_dom[dom]:
+            out.append(_err(
+                rid, f"fused program for domain {dom} claims "
+                f"{prog.n_nodes} nodes, task graph has {per_dom[dom]}"))
+
+    out.extend(_check_mem_bindings(rid, model.mem_writes, model.layout,
+                                   graph))
+    out.extend(_check_mem_bindings(rid, fused.mem_writes, fused.layout,
+                                   graph))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Translation validation of the fused codegen's rewrite claims
+# ---------------------------------------------------------------------------
+
+
+def check_audit(model) -> List[Diagnostic]:
+    """Re-prove every rewrite the fused emitter recorded.
+
+    The emitter's :class:`~repro.core.codegen.AuditRecord` stream says
+    *what* it rewrote (dropped constant-zero mux branch, increment-mux
+    peephole, demand-width truncated store, packed 1-bit store); this
+    pass re-establishes each claim through the independent known-bits
+    engine and structural checks.  A claim that cannot be re-proved is
+    an ERROR: either the emitter is wrong or the record was corrupted.
+    """
+    from repro.verify import knownbits as kb
+
+    rid = "verify-audit"
+    out: List[Diagnostic] = []
+    fused = model.fused()
+    graph = model.graph
+    layout = fused.layout
+    env: Dict[str, kb.KnownBits] = {}  # empty: only constant facts count
+
+    for rec in getattr(fused, "audit", []):
+        where = f"node {rec.node}" if rec.node >= 0 else "unknown node"
+        if rec.kind == "const0-branch":
+            # Evaluate at >= 1 bit: a width-0 TOP has max_value 0 and
+            # would vacuously "prove" any unannotated expression zero.
+            w = max(1, rec.expr.ctx_width or rec.expr.width
+                    ) if rec.expr is not None else 1
+            bits = (kb.expr_bits(rec.expr, env, graph, width=w)
+                    if rec.expr is not None else kb.top(1))
+            if rec.expr is None or bits.max_value != 0:
+                out.append(_err(
+                    rid, f"emitter dropped a mux branch at {where} claiming "
+                    "it is constant zero, but the known-bits engine cannot "
+                    "prove it (dropped live bits)", subject=rec.target))
+        elif rec.kind == "inc-mux":
+            e = rec.expr
+            ok = False
+            if (e is not None and hasattr(e, "then")
+                    and hasattr(e, "other")):
+                t, f = e.then, e.other
+                if getattr(t, "op", None) == "+":
+                    left = kb.expr_bits(t.left, env, graph)
+                    right = kb.expr_bits(t.right, env, graph)
+                    ok = ((right.is_const and right.value == 1
+                           and kb.same_expr(t.left, f))
+                          or (left.is_const and left.value == 1
+                              and kb.same_expr(t.right, f)))
+            if not ok:
+                out.append(_err(
+                    rid, f"increment-mux rewrite at {where} does not match "
+                    "the `c ? x + 1 : x` shape on re-analysis",
+                    subject=rec.target))
+        elif rec.kind == "demand-store":
+            slot = layout.slots.get(rec.target or "")
+            if slot is None:
+                out.append(_err(rid, f"demand store at {where} targets "
+                                f"unknown slot {rec.target!r}",
+                                subject=rec.target))
+                continue
+            demand = rec.detail.get("demand")
+            bits = rec.detail.get("bits")
+            masked = rec.detail.get("masked")
+            if demand != slot.width:
+                out.append(_err(
+                    rid, f"store to {rec.target!r} at {where} demanded "
+                    f"{demand} bits but the slot keeps {slot.width} — "
+                    "truncation drops live bits", subject=rec.target))
+            pool_bits = (_POOL_BITS[slot.pool]
+                         if slot.pool < len(_POOL_BITS) else 64)
+            need_mask = (isinstance(bits, int)
+                         and slot.width < min(bits, pool_bits))
+            if bool(masked) != need_mask:
+                out.append(_err(
+                    rid, f"store to {rec.target!r} at {where} "
+                    f"{'masked' if masked else 'did not mask'} wrap "
+                    "garbage, but the dtype/pool widths require the "
+                    "opposite", subject=rec.target))
+        elif rec.kind == "packed-store":
+            slot = layout.slots.get(rec.target or "")
+            if slot is None or slot.pool != PACKED_POOL or slot.width != 1:
+                out.append(_err(
+                    rid, f"packed store at {where} targets {rec.target!r}, "
+                    "which is not a 1-bit packed slot", subject=rec.target))
+                continue
+            if rec.detail.get("mode") == "const":
+                bits = kb.expr_bits(rec.expr, env, graph, width=1)
+                want = rec.detail.get("value")
+                if not bits.is_const or bits.value != want:
+                    out.append(_err(
+                        rid, f"packed constant store to {rec.target!r} at "
+                        f"{where} claims value {want}, not re-provable",
+                        subject=rec.target))
+        else:
+            out.append(_err(rid, f"unknown audit record kind "
+                            f"{rec.kind!r} at {where}", subject=rec.target))
+    return out

@@ -1,0 +1,546 @@
+"""Known-bits dataflow over the RTL graph.
+
+A :class:`KnownBits` value is the classic two-mask abstract domain: for
+an unsigned value of ``width`` bits, ``ones`` marks bit positions proven
+to be 1 and ``zeros`` positions proven to be 0 (the remaining positions
+are unknown).  The transfer functions below mirror the package's scalar
+reference semantics (:func:`repro.baselines.reference.eval_expr`):
+everything is unsigned, operations evaluate at the annotated context
+width, and assignments truncate to the target width.
+
+Two consumers:
+
+* the dataflow lint rules (``const-cond``, ``const-compare``,
+  ``redundant-mask`` in :mod:`repro.lint.rules`) — they ask whether a
+  condition, comparison or mask is provably constant/redundant;
+* the translation validator (:mod:`repro.verify.rules`) — it re-proves
+  the :class:`~repro.core.codegen.FusedExprCodegen` rewrite claims
+  (dropped constant-zero branches, increment-mux peepholes, demand-width
+  truncation) through this engine, which shares **no code** with the
+  emitter it checks.
+
+Soundness contract: every transfer function may forget information
+(return fewer known bits) but must never claim a bit the concrete
+semantics could flip.  When in doubt, return :func:`top`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.elaborate.constfold import try_const
+from repro.rtlir.graph import RtlGraph
+from repro.verilog import ast_nodes as A
+
+__all__ = ["KnownBits", "top", "const", "analyze_graph", "expr_bits", "same_expr"]
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1 if width > 0 else 0
+
+
+@dataclass(frozen=True)
+class KnownBits:
+    """Bit-level facts about one unsigned ``width``-bit value."""
+
+    width: int
+    ones: int  # bits proven 1
+    zeros: int  # bits proven 0
+
+    @property
+    def mask(self) -> int:
+        return _mask(self.width)
+
+    @property
+    def unknown(self) -> int:
+        return self.mask & ~(self.ones | self.zeros)
+
+    @property
+    def is_const(self) -> bool:
+        return self.unknown == 0
+
+    @property
+    def value(self) -> int:
+        """The proven constant value (only meaningful when ``is_const``)."""
+        return self.ones
+
+    @property
+    def max_value(self) -> int:
+        return self.mask & ~self.zeros
+
+    @property
+    def min_value(self) -> int:
+        return self.ones
+
+    def truth(self) -> Optional[bool]:
+        """Provable truthiness: True/False, or None when unknown."""
+        if self.ones:
+            return True
+        if self.max_value == 0:
+            return False
+        return None
+
+
+def top(width: int) -> KnownBits:
+    return KnownBits(width, 0, 0)
+
+
+def const(value: int, width: int) -> KnownBits:
+    v = value & _mask(width)
+    return KnownBits(width, v, _mask(width) & ~v)
+
+
+def _bool(value: Optional[bool], width: int = 1) -> KnownBits:
+    """A 0/1 result at ``width`` (high bits always known zero)."""
+    if value is None:
+        return KnownBits(width, 0, _mask(width) & ~1)
+    return const(1 if value else 0, width)
+
+
+def resize(kb: KnownBits, width: int) -> KnownBits:
+    """Zero-extend or truncate to ``width`` (assignment semantics)."""
+    if width == kb.width:
+        return kb
+    m = _mask(width)
+    if width < kb.width:
+        return KnownBits(width, kb.ones & m, kb.zeros & m)
+    # Zero extension: the new high bits are known zero.
+    high = m & ~_mask(kb.width)
+    return KnownBits(width, kb.ones, kb.zeros | high)
+
+
+# ---------------------------------------------------------------------------
+# Transfer functions (all at a shared result width)
+# ---------------------------------------------------------------------------
+
+
+def and_(a: KnownBits, b: KnownBits) -> KnownBits:
+    return KnownBits(a.width, a.ones & b.ones, a.zeros | b.zeros)
+
+
+def or_(a: KnownBits, b: KnownBits) -> KnownBits:
+    return KnownBits(a.width, a.ones | b.ones, a.zeros & b.zeros)
+
+
+def xor(a: KnownBits, b: KnownBits) -> KnownBits:
+    known = (a.ones | a.zeros) & (b.ones | b.zeros)
+    v = (a.ones ^ b.ones) & known
+    return KnownBits(a.width, v, known & ~v)
+
+
+def not_(a: KnownBits) -> KnownBits:
+    return KnownBits(a.width, a.zeros, a.ones)
+
+
+def join(a: KnownBits, b: KnownBits) -> KnownBits:
+    """Least upper bound: keep only facts proven on both paths."""
+    return KnownBits(a.width, a.ones & b.ones, a.zeros & b.zeros)
+
+
+def shl(a: KnownBits, amount: int) -> KnownBits:
+    m = a.mask
+    if amount >= a.width:
+        return const(0, a.width)
+    return KnownBits(
+        a.width,
+        (a.ones << amount) & m,
+        ((a.zeros << amount) | _mask(amount)) & m,
+    )
+
+
+def shr(a: KnownBits, amount: int) -> KnownBits:
+    m = a.mask
+    if amount >= a.width:
+        return const(0, a.width)
+    high = m & ~(m >> amount)
+    return KnownBits(a.width, a.ones >> amount, (a.zeros >> amount) | high)
+
+
+def _leading_zeros(width: int, max_value: int) -> KnownBits:
+    """TOP except the high bits an interval bound proves zero."""
+    m = _mask(width)
+    return KnownBits(width, 0, m & ~_mask(max_value.bit_length()))
+
+
+def add(a: KnownBits, b: KnownBits) -> KnownBits:
+    if a.is_const and b.is_const:
+        return const(a.value + b.value, a.width)
+    # Low bits: ripple the carry through positions known on both sides.
+    ones = zeros = 0
+    carry = 0
+    for i in range(a.width):
+        bit = 1 << i
+        if (a.ones | a.zeros) & bit and (b.ones | b.zeros) & bit:
+            s = bool(a.ones & bit) + bool(b.ones & bit) + carry
+            if s & 1:
+                ones |= bit
+            else:
+                zeros |= bit
+            carry = s >> 1
+        else:
+            break
+    out = KnownBits(a.width, ones, zeros)
+    hi = a.max_value + b.max_value
+    if hi <= a.mask:  # no wrap possible: interval bounds the high bits
+        lead = _leading_zeros(a.width, hi)
+        out = KnownBits(a.width, out.ones | lead.ones, out.zeros | lead.zeros)
+    return out
+
+
+def sub(a: KnownBits, b: KnownBits) -> KnownBits:
+    if a.is_const and b.is_const:
+        return const(a.value - b.value, a.width)
+    if a.min_value >= b.max_value:  # no wrap: result <= a.max
+        return _leading_zeros(a.width, a.max_value)
+    return top(a.width)
+
+
+def mul(a: KnownBits, b: KnownBits) -> KnownBits:
+    if a.is_const and b.is_const:
+        return const(a.value * b.value, a.width)
+    if a.max_value == 0 or b.max_value == 0:
+        return const(0, a.width)
+    hi = a.max_value * b.max_value
+    if hi <= a.mask:
+        return _leading_zeros(a.width, hi)
+    return top(a.width)
+
+
+def div(a: KnownBits, b: KnownBits) -> KnownBits:
+    if a.is_const and b.is_const:
+        # Division by zero yields the two-state sentinel 0 (see bitvec).
+        return const(a.value // b.value if b.value else 0, a.width)
+    return _leading_zeros(a.width, a.max_value)
+
+
+def mod(a: KnownBits, b: KnownBits) -> KnownBits:
+    if a.is_const and b.is_const:
+        return const(a.value % b.value if b.value else 0, a.width)
+    bound = a.max_value
+    if b.min_value > 0:
+        bound = min(bound, b.max_value - 1)
+    return _leading_zeros(a.width, bound)
+
+
+def eq(a: KnownBits, b: KnownBits) -> Optional[bool]:
+    if a.is_const and b.is_const:
+        return a.value == b.value
+    # A position proven 1 on one side and 0 on the other decides it.
+    if (a.ones & b.zeros) | (a.zeros & b.ones):
+        return False
+    if a.min_value > b.max_value or b.min_value > a.max_value:
+        return False
+    return None
+
+
+def lt(a: KnownBits, b: KnownBits) -> Optional[bool]:
+    if a.max_value < b.min_value:
+        return True
+    if a.min_value >= b.max_value:
+        return False
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+
+
+def expr_bits(
+    e: A.Expr,
+    env: Dict[str, KnownBits],
+    graph: Optional[RtlGraph] = None,
+    width: Optional[int] = None,
+) -> KnownBits:
+    """Known bits of ``e`` at ``width`` (default: its annotated context).
+
+    ``env`` maps signal names to their current facts; unbound names are
+    TOP at their declared width when ``graph`` is given, else TOP at the
+    use width.  Never raises on unannotated expressions — a zero width
+    degrades to TOP(0), which proves nothing.
+    """
+    w = width if width is not None else (e.ctx_width or e.width)
+    if w <= 0:
+        return top(0)
+    kb = _eval(e, env, graph, w)
+    return kb
+
+
+def _signal_width(name: str, graph: Optional[RtlGraph]) -> Optional[int]:
+    if graph is None:
+        return None
+    sig = graph.design.signals.get(name)
+    if sig is not None:
+        return sig.width
+    memo = graph.design.memories.get(name)
+    if memo is not None:
+        return memo.width
+    return None
+
+
+def _load(name: str, env: Dict[str, KnownBits], graph, w: int) -> KnownBits:
+    kb = env.get(name)
+    if kb is None:
+        declared = _signal_width(name, graph)
+        kb = top(declared if declared is not None else w)
+    return resize(kb, w)
+
+
+def _eval(e: A.Expr, env, graph, w: int) -> KnownBits:
+    if isinstance(e, A.Number):
+        return const(e.value, w)
+    if isinstance(e, A.Ident):
+        return _load(e.name, env, graph, w)
+    if isinstance(e, A.Unary):
+        return _unary(e, env, graph, w)
+    if isinstance(e, A.Binary):
+        return _binary(e, env, graph, w)
+    if isinstance(e, A.Ternary):
+        c = expr_bits(e.cond, env, graph).truth()
+        if c is True:
+            return _eval_at(e.then, env, graph, w)
+        if c is False:
+            return _eval_at(e.other, env, graph, w)
+        return join(_eval_at(e.then, env, graph, w), _eval_at(e.other, env, graph, w))
+    if isinstance(e, A.Concat):
+        out = const(0, w)
+        total = 0
+        for p in reversed(e.parts):  # parts are MSB-first
+            pw = p.width
+            if pw <= 0:
+                return top(w)
+            pk = resize(expr_bits(p, env, graph, width=pw), w)
+            out = or_(out, shl(pk, total) if total else pk)
+            total += pw
+            if total >= w:
+                break
+        if total < w:  # bits above the concat are zero
+            high = _mask(w) & ~_mask(total)
+            out = KnownBits(w, out.ones, out.zeros | high)
+        return out
+    if isinstance(e, A.Repeat):
+        cnt = try_const(e.count)
+        vw = e.value.width
+        if cnt is None or vw <= 0:
+            return top(w)
+        piece = expr_bits(e.value, env, graph, width=vw)
+        out = const(0, w)
+        for i in range(int(cnt)):
+            shifted = shl(resize(piece, w), i * vw) if i else resize(piece, w)
+            out = or_(out, shifted)
+            if (i + 1) * vw >= w:
+                break
+        if int(cnt) * vw < w:
+            high = _mask(w) & ~_mask(int(cnt) * vw)
+            out = KnownBits(w, out.ones, out.zeros | high)
+        return out
+    if isinstance(e, A.Index):
+        if e.is_memory:
+            mw = _signal_width(e.base, graph)
+            return resize(top(mw), w) if mw else top(w)
+        idx = try_const(e.index)
+        base_w = _signal_width(e.base, graph)
+        if idx is None:
+            return _bool(None, w)
+        if base_w is not None and idx >= base_w:
+            return const(0, w)  # out-of-range bit select reads zero
+        base = _load(e.base, env, graph, base_w or (idx + 1))
+        bit = 1 << int(idx)
+        if base.ones & bit:
+            return const(1, w)
+        if base.zeros & bit:
+            return const(0, w)
+        return _bool(None, w)
+    if isinstance(e, A.PartSelect):
+        lsb = getattr(e, "_lsb_i", None)
+        if lsb is None:
+            lsb = try_const(e.lsb)
+        if lsb is None or e.width <= 0:
+            return top(w)
+        base_w = _signal_width(e.base, graph)
+        base = _load(e.base, env, graph, max(base_w or 0, int(lsb) + e.width))
+        return resize(resize(shr(base, int(lsb)), e.width), w)
+    return top(w)
+
+
+def _eval_at(e: A.Expr, env, graph, w: int) -> KnownBits:
+    """A subexpression folded into a ``w``-wide result (zext/truncate)."""
+    sub_w = e.ctx_width or e.width or w
+    return resize(expr_bits(e, env, graph, width=sub_w), w)
+
+
+def _unary(e: A.Unary, env, graph, w: int) -> KnownBits:
+    op = e.op
+    ow = e.operand.ctx_width or e.operand.width
+    if op == "!":
+        t = expr_bits(e.operand, env, graph).truth()
+        return _bool(None if t is None else not t, w)
+    if op in ("&", "~&", "|", "~|", "^", "~^", "^~"):
+        if ow <= 0:
+            return _bool(None, w)
+        a = expr_bits(e.operand, env, graph, width=ow)
+        if op in ("&", "~&"):
+            if a.ones == a.mask:
+                r: Optional[bool] = True
+            elif a.zeros:
+                r = False
+            else:
+                r = None
+            if op == "~&" and r is not None:
+                r = not r
+            return _bool(r, w)
+        if op in ("|", "~|"):
+            r = a.truth()
+            if op == "~|" and r is not None:
+                r = not r
+            return _bool(r, w)
+        if a.is_const:  # ^ / ~^
+            r = bool(bin(a.value).count("1") & 1)
+            if op != "^":
+                r = not r
+            return _bool(r, w)
+        return _bool(None, w)
+    a = _eval_at(e.operand, env, graph, w)
+    if op == "~":
+        return not_(a)
+    if op == "-":
+        return const(-a.value, w) if a.is_const else top(w)
+    if op == "+":
+        return a
+    return top(w)
+
+
+_CMP_OPS = {"<", "<=", ">", ">=", "==", "!="}
+
+
+def compare(op: str, a: KnownBits, b: KnownBits) -> Optional[bool]:
+    """Provable result of an unsigned comparison, or None."""
+    if op == "==":
+        return eq(a, b)
+    if op == "!=":
+        r = eq(a, b)
+        return None if r is None else not r
+    if op == "<":
+        return lt(a, b)
+    if op == ">":
+        return lt(b, a)
+    if op == "<=":
+        r = lt(b, a)
+        return None if r is None else not r
+    if op == ">=":
+        r = lt(a, b)
+        return None if r is None else not r
+    return None
+
+
+def _binary(e: A.Binary, env, graph, w: int) -> KnownBits:
+    op = e.op
+    if op in _CMP_OPS:
+        cw = max(e.left.ctx_width or e.left.width,
+                 e.right.ctx_width or e.right.width)
+        if cw <= 0:
+            return _bool(None, w)
+        a = expr_bits(e.left, env, graph, width=cw)
+        b = expr_bits(e.right, env, graph, width=cw)
+        return _bool(compare(op, a, b), w)
+    if op in ("&&", "||"):
+        ta = expr_bits(e.left, env, graph).truth()
+        tb = expr_bits(e.right, env, graph).truth()
+        if op == "&&":
+            if ta is False or tb is False:
+                return _bool(False, w)
+            if ta is True and tb is True:
+                return _bool(True, w)
+        else:
+            if ta is True or tb is True:
+                return _bool(True, w)
+            if ta is False and tb is False:
+                return _bool(False, w)
+        return _bool(None, w)
+    if op in ("<<", "<<<", ">>", ">>>"):
+        a = _eval_at(e.left, env, graph, w)
+        amt = expr_bits(e.right, env, graph)
+        if amt.is_const:
+            return shl(a, amt.value) if op in ("<<", "<<<") else shr(a, amt.value)
+        if op in (">>", ">>>"):
+            return _leading_zeros(w, a.max_value)
+        return top(w)
+    a = _eval_at(e.left, env, graph, w)
+    b = _eval_at(e.right, env, graph, w)
+    if op == "&":
+        return and_(a, b)
+    if op == "|":
+        return or_(a, b)
+    if op == "^":
+        return xor(a, b)
+    if op in ("~^", "^~"):
+        return not_(xor(a, b))
+    if op == "+":
+        return add(a, b)
+    if op == "-":
+        return sub(a, b)
+    if op == "*":
+        return mul(a, b)
+    if op == "/":
+        return div(a, b)
+    if op == "%":
+        return mod(a, b)
+    if op == "**":
+        if a.is_const and b.is_const and b.value <= 64:
+            return const(a.value ** b.value, w)
+        return top(w)
+    return top(w)
+
+
+# ---------------------------------------------------------------------------
+# Whole-graph analysis
+# ---------------------------------------------------------------------------
+
+
+def analyze_graph(graph: RtlGraph) -> Dict[str, KnownBits]:
+    """One dataflow pass over the comb DAG in topological order.
+
+    Inputs and registers start TOP at their declared width (their values
+    cross evaluation boundaries, so nothing can be assumed beyond the
+    zero-extension above the width).  Combinational targets accumulate
+    whatever the transfer functions prove.  Single pass — the comb DAG is
+    acyclic by construction, and registers deliberately stay TOP rather
+    than iterating to a cross-cycle fixpoint.
+    """
+    env: Dict[str, KnownBits] = {}
+    design = graph.design
+    for name, sig in design.signals.items():
+        env[name] = top(sig.width)
+    for nid in graph.comb_order:
+        node = graph.nodes[nid]
+        sig = design.signals.get(node.target)
+        if sig is None or node.expr is None:
+            continue
+        kb = expr_bits(node.expr, env, graph)
+        env[node.target] = resize(kb, sig.width)
+    return env
+
+
+def same_expr(a: A.Expr, b: A.Expr) -> bool:
+    """Structural equality, independent of the emitter's version."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, A.Ident):
+        return a.name == b.name
+    if isinstance(a, A.Number):
+        return a.value == b.value
+    if isinstance(a, A.Unary):
+        return a.op == b.op and same_expr(a.operand, b.operand)
+    if isinstance(a, A.Binary):
+        return (a.op == b.op and same_expr(a.left, b.left)
+                and same_expr(a.right, b.right))
+    if isinstance(a, A.Ternary):
+        return (same_expr(a.cond, b.cond) and same_expr(a.then, b.then)
+                and same_expr(a.other, b.other))
+    if isinstance(a, A.Index):
+        return a.base == b.base and same_expr(a.index, b.index)
+    if isinstance(a, A.PartSelect):
+        return (a.base == b.base and same_expr(a.msb, b.msb)
+                and same_expr(a.lsb, b.lsb))
+    return False
