@@ -1,0 +1,43 @@
+"""CuPy backend scaffold (the paper's CUDA target, device-array leg).
+
+Gated on ``import cupy`` succeeding *and* a device being visible.  When
+available the lowering reuses the tensor backend's IR interpretation on
+host arrays — bit-identical by construction — with device-array
+residency (cupy ndarrays for the pools, ``cupy.einsum`` for the
+pack/gather contractions) as the documented follow-up: the IR closures
+only use ufunc/einsum/matmul primitives that cupy implements with the
+same dtype semantics.  Unavailable environments register the backend
+but report a reason; nothing imports cupy at module import time.
+"""
+
+from __future__ import annotations
+
+from repro.backends.tensor_backend import TensorBackend
+
+__all__ = ["CupyBackend"]
+
+
+def _probe() -> str:
+    try:
+        import cupy  # noqa: F401
+    except Exception as exc:  # pragma: no cover - env-dependent
+        return f"cupy is not importable ({type(exc).__name__})"
+    try:  # pragma: no cover - env-dependent
+        cupy.cuda.runtime.getDeviceCount()
+    except Exception as exc:  # pragma: no cover - env-dependent
+        return f"cupy sees no CUDA device ({type(exc).__name__})"
+    return ""  # pragma: no cover - env-dependent
+
+
+class CupyBackend(TensorBackend):
+    name = "cupy"
+    summary = "kernel-IR interpreter + cupy device arrays (experimental)"
+    accelerated = True
+
+    @classmethod
+    def available(cls) -> bool:
+        return _probe() == ""
+
+    @classmethod
+    def unavailable_reason(cls) -> str:
+        return _probe()

@@ -1,0 +1,39 @@
+"""Numba backend scaffold (the paper's CUDA target, JIT leg).
+
+Gated on ``import numba`` succeeding.  When numba is present the
+lowering currently reuses the tensor backend's IR interpretation —
+bit-identical by construction — while per-unit ``@numba.njit``
+compilation of the straight-line programs is the documented follow-up
+(the IR's flat op lists are exactly the form ``nopython`` lowering
+wants).  When numba is absent the backend registers but reports itself
+unavailable; ``repro`` never imports numba at module import time, so
+the default flow pays nothing for the gate.
+"""
+
+from __future__ import annotations
+
+from repro.backends.tensor_backend import TensorBackend
+
+__all__ = ["NumbaBackend"]
+
+
+def _probe() -> str:
+    try:
+        import numba  # noqa: F401
+    except Exception as exc:  # pragma: no cover - env-dependent
+        return f"numba is not importable ({type(exc).__name__})"
+    return ""
+
+
+class NumbaBackend(TensorBackend):
+    name = "numba"
+    summary = "kernel-IR interpreter + numba JIT hooks (experimental)"
+    accelerated = True
+
+    @classmethod
+    def available(cls) -> bool:
+        return _probe() == ""
+
+    @classmethod
+    def unavailable_reason(cls) -> str:
+        return _probe()

@@ -1,0 +1,30 @@
+"""The default backend: the fused flat-program numpy lowering.
+
+This is the existing :class:`~repro.core.codegen.FusedProgramCodegen`
+path re-expressed as a backend.  It does *not* interpret the kernel IR
+at runtime — it keeps emitting fused Python source (three emission
+tiers: lane-packed words, native dtypes, uint64 fallback), because that
+source is the performance baseline every other backend is measured
+against.  The IR is still authoritative: the translation validator
+checks the emitted source against the same expression semantics the IR
+encodes, and ``repro verify --backend numpy`` lowers through
+:func:`repro.backends.ir.build_kernel_ir` to cross-check structure.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(Backend):
+    name = "numpy"
+    summary = "fused flat programs, three-tier numpy emission (default)"
+
+    def compile(self, model):
+        # The model caches its fused bundle; reusing it keeps this
+        # backend byte-for-byte the pre-backend behaviour (and free).
+        bundle = model.fused()
+        bundle.backend = self.name
+        return bundle

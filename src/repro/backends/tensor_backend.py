@@ -1,0 +1,529 @@
+"""Tensor backend: kernel-IR interpretation with tensor-algebra primitives.
+
+Lowers each execution unit of the backend-neutral kernel IR
+(:mod:`repro.backends.ir`) to a straight line of precompiled closures
+over the pooled batch state, mapping the task phases onto
+einsum/matmul-style ops the way RTeAAL-style tensor simulators do:
+
+* **bit packing** — a 1-bit signal's ``(N,)`` lane vector becomes its
+  ``(W,)`` packed words via a ``(W, 64) @ (64,)`` matmul against the
+  bit-weight vector ``1 << arange(64)`` (bit-identical to
+  :func:`repro.utils.packbits.pack`, including zeroed tail bits);
+* **bit unpacking** — a broadcast shift ``(words[:, None] >> arange(64))
+  & 1`` flattened back to lanes;
+* **memory gather** — a one-hot address matrix contracted against the
+  memory block, ``einsum('dn,dn->n', block, onehot)``; out-of-range
+  addresses contract to 0, exactly the two-state X-read semantics of
+  ``rt.mem_read``.  Deep memories fall back to the gather kernel (the
+  one-hot matrix is O(depth x N)).
+
+Every scalar op mirrors the uint64/widevec tier of the fused emitter
+case for case — division/modulo/power go through
+:mod:`repro.utils.bitvec` so lane quarantine still sees divide faults.
+The produced bundle shares the numpy lowering's layout and commit
+bindings, so checkpoints, stimulus pre-packing and the commit path are
+interchangeable across backends (pool state is bit-identical at every
+program boundary).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.backends.ir import IrOp, IrStore, KernelIR, NodeIr, build_kernel_ir
+from repro.core import kernels as rt
+from repro.core.memory import PACKED_POOL
+from repro.utils import bitvec as bvb
+from repro.utils import packbits as pk
+from repro.utils import widevec as wv
+from repro.utils.errors import SimulationError
+
+__all__ = ["TensorBackend"]
+
+u8 = np.uint8
+u64 = np.uint64
+
+#: Bit weights for the packing matmul: word = lanes(W,64) @ _BIT_WEIGHTS.
+_BIT_WEIGHTS = (u64(1) << np.arange(64, dtype=u64))
+
+#: Depth above which the one-hot gather matrix is too large and the
+#: gather kernel takes over (still bit-identical, just not tensorized).
+ONEHOT_DEPTH_MAX = 128
+
+_CMP_FNS = {
+    "==": np.equal, "===": np.equal,
+    "!=": np.not_equal, "!==": np.not_equal,
+    "<": np.less, "<=": np.less_equal,
+    ">": np.greater, ">=": np.greater_equal,
+}
+_WIDE_CMP = {
+    "==": wv.eq, "===": wv.eq, "!=": wv.ne, "!==": wv.ne,
+    "<": wv.lt, "<=": wv.le, ">": wv.gt, ">=": wv.ge,
+}
+
+
+def _pack_tensor(v, n: int, w: int) -> np.ndarray:
+    """Pack a lane vector's low bits into ``(w,)`` uint64 words.
+
+    Zero-padded lanes reshaped ``(w, 64)`` and contracted against the
+    bit weights; the padding keeps tail bits zero exactly like
+    ``pk.pack``'s zero-initialized words.
+    """
+    if np.ndim(v) == 0:
+        return pk.ones(n) if (int(v) & 1) else pk.zeros(n)
+    lanes = np.zeros(w * 64, dtype=u64)
+    lanes[:n] = v & u64(1)
+    return lanes.reshape(w, 64) @ _BIT_WEIGHTS
+
+
+def _unpack_tensor(words: np.ndarray, n: int) -> np.ndarray:
+    """Unpack ``(W,)`` uint64 words back to an ``(n,)`` lane vector."""
+    return ((words[:, None] >> _BIT_WEIGHTS_EXP) & u64(1)).reshape(-1)[:n]
+
+
+_BIT_WEIGHTS_EXP = np.arange(64, dtype=u64)
+
+
+# ---------------------------------------------------------------------------
+# Op compilation: IrOp -> closure(vals, pools, n, w, lane)
+# ---------------------------------------------------------------------------
+
+
+def _compile_op(op: IrOp) -> Callable:
+    """Precompile one IR op to a closure writing ``vals[op.vid]``.
+
+    All attribute lookups happen here, once per bundle build; the
+    closures run every cycle with plain local-variable access only.
+    """
+    vid = op.vid
+    a = op.attrs
+    args = op.args
+    oc = op.opcode
+
+    if oc == "const":
+        if op.limbs == 1:
+            c = u64(a["value"] & ((1 << 64) - 1))
+
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = c
+        else:
+            value, L = a["value"], op.limbs
+
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = wv.from_const(value, L, n)
+        return fn
+
+    if oc == "load":
+        pool, off, limbs = a["pool"], a["offset"], op.limbs
+        if a["packed"]:
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = _unpack_tensor(pools[4][off * w:(off + 1) * w], n)
+        elif limbs == 1:
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = pools[pool][off * n:(off + 1) * n].astype(
+                    u64, copy=False)
+        else:
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = pools[pool][
+                    off * n:(off + limbs) * n].reshape(limbs, n)
+        return fn
+
+    if oc == "mem_gather":
+        pool, base, depth = a["pool"], a["base"], a["depth"]
+        x = args[0]
+        if 0 < depth <= ONEHOT_DEPTH_MAX:
+            drange = np.arange(depth, dtype=u64)
+
+            def fn(vals, pools, n, w, lane):
+                idx = vals[x]
+                if np.ndim(idx) == 0:
+                    vals[vid] = rt.mem_read(
+                        pools[pool], base, depth, n, lane, idx, copy=True)
+                    return
+                block = pools[pool][base * n:(base + depth) * n].reshape(
+                    depth, n).astype(u64, copy=False)
+                onehot = (idx[None, :] == drange[:, None]).astype(u64)
+                vals[vid] = np.einsum("dn,dn->n", block, onehot)
+        else:
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = rt.mem_read(
+                    pools[pool], base, depth, n, lane, vals[x], copy=True)
+        return fn
+
+    if oc == "mux":
+        c, t, f = args
+        if op.limbs == 1:
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = np.where(vals[c] != 0, vals[t], vals[f])
+        else:
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = wv.mux(vals[c], vals[t], vals[f])
+        return fn
+
+    if oc == "not_bool":
+        x = args[0]
+
+        def fn(vals, pools, n, w, lane):
+            vals[vid] = (np.asarray(vals[x]) == 0).astype(u64)
+        return fn
+
+    if oc in ("bnot", "neg"):
+        x, m = args[0], u64(a["mask"])
+        if oc == "bnot":
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = (~vals[x]) & m
+        else:
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = (u64(0) - vals[x]) & m
+        return fn
+
+    if oc in ("wide_bnot", "wide_neg"):
+        x, width = args[0], a["width"]
+        inner = wv.bit_not if oc == "wide_bnot" else wv.neg
+
+        def fn(vals, pools, n, w, lane):
+            vals[vid] = wv.mask_width(inner(vals[x]), width)
+        return fn
+
+    if oc == "reduce":
+        x, rop, width, wide = args[0], a["op"], a["width"], a["wide"]
+        invert = rop.startswith("~")
+        base_op = rop[-1]  # & | ^
+        if not wide:
+            red = {"&": bvb.b_red_and, "|": bvb.b_red_or,
+                   "^": bvb.b_red_xor}[base_op]
+
+            def fn(vals, pools, n, w, lane):
+                r = red(vals[x], width)
+                vals[vid] = (u64(1) - r) if invert else r
+        else:
+            if base_op == "&":
+                def red_w(v):
+                    return wv.red_and(v, width)
+            elif base_op == "|":
+                red_w = wv.red_or
+            else:
+                red_w = wv.red_xor
+
+            def fn(vals, pools, n, w, lane):
+                r = red_w(vals[x])
+                vals[vid] = (u64(1) - r) if invert else r
+        return fn
+
+    if oc == "logic":
+        l, r = args
+        if a["op"] == "&&":
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = ((vals[l] != 0) & (vals[r] != 0)).astype(u64)
+        else:
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = ((vals[l] != 0) | (vals[r] != 0)).astype(u64)
+        return fn
+
+    if oc == "compare":
+        l, r = args
+        if a["wide"]:
+            cmp = _WIDE_CMP[a["op"]]
+
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = cmp(vals[l], vals[r])
+        else:
+            cmp = _CMP_FNS[a["op"]]
+
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = cmp(vals[l], vals[r]).astype(u64)
+        return fn
+
+    if oc == "shift":
+        l, r = args
+        if not a["wide"]:
+            m = u64(a["mask"])
+            if a["op"] == "<<":
+                def fn(vals, pools, n, w, lane):
+                    vals[vid] = bvb.b_shl(vals[l], vals[r]) & m
+            else:
+                def fn(vals, pools, n, w, lane):
+                    vals[vid] = bvb.b_shr(vals[l], vals[r])
+        else:
+            width = a["width"]
+            if a["op"] == "<<":
+                def fn(vals, pools, n, w, lane):
+                    vals[vid] = wv.mask_width(
+                        wv.shl(vals[l], vals[r]), width)
+            else:
+                def fn(vals, pools, n, w, lane):
+                    vals[vid] = wv.shr(vals[l], vals[r])
+        return fn
+
+    if oc == "arith":
+        l, r = args
+        bop = a["op"]
+        if not a["wide"]:
+            m = u64(a["mask"])
+            table = {
+                "+": lambda x, y: (x + y) & m,
+                "-": lambda x, y: (x - y) & m,
+                "*": lambda x, y: (x * y) & m,
+                "/": bvb.b_div,
+                "%": bvb.b_mod,
+                "**": lambda x, y: bvb.b_pow(x, y) & m,
+                "&": lambda x, y: x & y,
+                "|": lambda x, y: x | y,
+                "^": lambda x, y: x ^ y,
+                "~^": lambda x, y: (~(x ^ y)) & m,
+                "^~": lambda x, y: (~(x ^ y)) & m,
+            }
+        else:
+            width = a["width"]
+            table = {
+                "+": lambda x, y: wv.mask_width(wv.add(x, y), width),
+                "-": lambda x, y: wv.mask_width(wv.sub(x, y), width),
+                "&": lambda x, y: x & y,
+                "|": lambda x, y: x | y,
+                "^": lambda x, y: x ^ y,
+                "~^": lambda x, y: wv.mask_width(wv.bit_not(x ^ y), width),
+                "^~": lambda x, y: wv.mask_width(wv.bit_not(x ^ y), width),
+            }
+        opf = table[bop]
+
+        def fn(vals, pools, n, w, lane):
+            vals[vid] = opf(vals[l], vals[r])
+        return fn
+
+    if oc == "shl_or":
+        l, r, sh = args[0], args[1], u64(a["shift"])
+
+        def fn(vals, pools, n, w, lane):
+            vals[vid] = (vals[l] << sh) | vals[r]
+        return fn
+
+    if oc == "wide_shl_or":
+        l, r, sh = args[0], args[1], a["shift"]
+
+        def fn(vals, pools, n, w, lane):
+            vals[vid] = wv.shl_const(vals[l], sh) | vals[r]
+        return fn
+
+    if oc == "wide_extend":
+        x, L = args[0], a["limbs"]
+
+        def fn(vals, pools, n, w, lane):
+            vals[vid] = wv.extend(vals[x], L, n)
+        return fn
+
+    if oc == "bit_index":
+        b, i = args
+
+        def fn(vals, pools, n, w, lane):
+            vals[vid] = bvb.b_shr(vals[b], vals[i]) & u64(1)
+        return fn
+
+    if oc == "wide_bit_index":
+        b, i = args
+
+        def fn(vals, pools, n, w, lane):
+            vals[vid] = wv.narrow(wv.shr(vals[b], vals[i])) & u64(1)
+        return fn
+
+    if oc == "part":
+        b, lsb, m = args[0], a["lsb"], u64(a["mask"])
+        if lsb == 0:
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = vals[b] & m
+        else:
+            sh = u64(lsb)
+
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = (vals[b] >> sh) & m
+        return fn
+
+    if oc == "wide_part_narrow":
+        b, lsb, m = args[0], a["lsb"], u64(a["mask"])
+        if lsb == 0:
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = wv.narrow(vals[b]) & m
+        else:
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = wv.narrow(wv.shr_const(vals[b], lsb)) & m
+        return fn
+
+    if oc == "wide_part_wide":
+        b, lsb, width = args[0], a["lsb"], a["width"]
+        if lsb == 0:
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = wv.mask_width(vals[b], width)
+        else:
+            def fn(vals, pools, n, w, lane):
+                vals[vid] = wv.mask_width(
+                    wv.shr_const(vals[b], lsb), width)
+        return fn
+
+    if oc == "amount_bias":
+        x, bias = args[0], u64(a["bias"])
+
+        def fn(vals, pools, n, w, lane):
+            vals[vid] = vals[x] - bias
+        return fn
+
+    if oc == "dyn_part":
+        b, p, m = args[0], args[1], u64(a["mask"])
+
+        def fn(vals, pools, n, w, lane):
+            vals[vid] = bvb.b_shr(vals[b], vals[p]) & m
+        return fn
+
+    if oc == "wide_dyn_narrow":
+        b, p, m = args[0], args[1], u64(a["mask"])
+
+        def fn(vals, pools, n, w, lane):
+            vals[vid] = wv.narrow(wv.shr(vals[b], vals[p])) & m
+        return fn
+
+    if oc == "wide_dyn_wide":
+        b, p, width = args[0], args[1], a["width"]
+
+        def fn(vals, pools, n, w, lane):
+            vals[vid] = wv.mask_width(wv.shr(vals[b], vals[p]), width)
+        return fn
+
+    if oc == "to_bool_wide":
+        x = args[0]
+
+        def fn(vals, pools, n, w, lane):
+            vals[vid] = wv.nonzero(vals[x])
+        return fn
+
+    if oc == "to_amount_wide":
+        x = args[0]
+
+        def fn(vals, pools, n, w, lane):
+            vals[vid] = wv.saturate_narrow(vals[x])
+        return fn
+
+    if oc == "to_narrow_wide":
+        x = args[0]
+
+        def fn(vals, pools, n, w, lane):
+            vals[vid] = wv.narrow(vals[x])
+        return fn
+
+    raise SimulationError(f"tensor backend: unknown IR opcode {oc!r}")
+
+
+def _compile_store(st: IrStore) -> Callable:
+    """Precompile one store to a closure applying ``vals[st.value]``."""
+    v = st.value
+    off, limbs = st.offset, st.limbs
+
+    if st.kind == "signal":
+        if st.packed:
+            def fn(vals, pools, n, w, lane):
+                pools[4][off * w:(off + 1) * w] = _pack_tensor(vals[v], n, w)
+            return fn
+        if limbs == 1:
+            pool, m = st.pool, u64(bvb.mask(st.width))
+
+            def fn(vals, pools, n, w, lane):
+                pools[pool][off * n:(off + 1) * n] = vals[v] & m
+            return fn
+        pool, width = st.pool, st.width
+
+        def fn(vals, pools, n, w, lane):
+            pools[pool][off * n:(off + limbs) * n] = wv.mask_width(
+                vals[v], width).reshape(-1)
+        return fn
+
+    if st.kind == "memw_cond":
+        pool = st.pool
+
+        def fn(vals, pools, n, w, lane):
+            pools[pool][off * n:(off + 1) * n] = (
+                np.asarray(vals[v]) != 0).astype(u8)
+        return fn
+
+    if st.kind == "memw_addr":
+        pool = st.pool
+
+        def fn(vals, pools, n, w, lane):
+            pools[pool][off * n:(off + 1) * n] = vals[v]
+        return fn
+
+    if st.kind == "memw_data":
+        pool, m = st.pool, u64(bvb.mask(st.width))
+
+        def fn(vals, pools, n, w, lane):
+            pools[pool][off * n:(off + 1) * n] = vals[v] & m
+        return fn
+
+    raise SimulationError(f"tensor backend: unknown store kind {st.kind!r}")
+
+
+class _NodeProgram:
+    """One node's precompiled closures (ops then stores)."""
+
+    __slots__ = ("n_vals", "op_fns", "store_fns")
+
+    def __init__(self, node: NodeIr):
+        self.n_vals = len(node.ops)
+        self.op_fns = [_compile_op(op) for op in node.ops]
+        self.store_fns = [_compile_store(st) for st in node.stores]
+
+
+def _unit_fn(name: str, progs: List[_NodeProgram]) -> Callable:
+    """Bind one execution unit to a fused-program-signature callable."""
+
+    def run(P8, P16, P32, P64, P1, N, W, LANE):
+        pools = (P8, P16, P32, P64, P1)
+        for prog in progs:
+            vals = [None] * prog.n_vals
+            for f in prog.op_fns:
+                f(vals, pools, N, W, LANE)
+            for s in prog.store_fns:
+                s(vals, pools, N, W, LANE)
+
+    run.__name__ = run.__qualname__ = name
+    return run
+
+
+class TensorBackend(Backend):
+    name = "tensor"
+    summary = "kernel-IR interpreter with einsum/matmul pack + gather"
+
+    def compile(self, model):
+        from repro.core.codegen import FusedProgram, FusedPrograms
+
+        t0 = time.perf_counter()
+        ir = build_kernel_ir(model.taskgraph)
+        return self._bundle_from_ir(ir, FusedProgram, FusedPrograms, t0)
+
+    def _bundle_from_ir(self, ir: KernelIR, FusedProgram, FusedPrograms, t0):
+        comb_unit = ir.comb
+        comb = FusedProgram(
+            name=comb_unit.name, kind="comb", domain=None,
+            fn=_unit_fn(comb_unit.name,
+                        [_NodeProgram(nd) for nd in comb_unit.nodes]),
+            n_nodes=len(comb_unit.nodes),
+        )
+        seq = {}
+        for unit in ir.seq_units():
+            seq[unit.domain] = FusedProgram(
+                name=unit.name, kind="seq", domain=unit.domain,
+                fn=_unit_fn(unit.name,
+                            [_NodeProgram(nd) for nd in unit.nodes]),
+                n_nodes=len(unit.nodes),
+            )
+        return FusedPrograms(
+            layout=ir.layout,
+            comb=comb,
+            seq=seq,
+            mem_writes=ir.mem_writes,
+            source=ir.render(),
+            namespace={"__backend__": self.name},
+            transpile_seconds=time.perf_counter() - t0,
+            audit=[],
+            backend=self.name,
+        )

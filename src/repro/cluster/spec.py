@@ -85,6 +85,10 @@ class CampaignSpec:
     # Workers rebuild the design independently; this catches a worker
     # whose rebuild produced corrupt IR, not just a bad input design.
     verify: bool = False
+    # Lowering backend every worker rebuilds (see repro.backends).
+    # Part of the signature: shard results from different lowerings are
+    # bit-identical by contract but must never silently mix on resume.
+    backend: str = "numpy"
 
     def validate(self) -> None:
         if self.n <= 0:
@@ -105,6 +109,22 @@ class CampaignSpec:
                 )
             if cycle < 0:
                 raise ClusterError(f"lane fault cycle must be >= 0, got {cycle}")
+        # Local import: repro.backends pulls in the codegen stack, which
+        # spec construction/pickling must not depend on.
+        from repro.backends import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise ClusterError(
+                f"unknown backend {self.backend!r}; known backends: "
+                + ", ".join(sorted(BACKENDS))
+            )
+        if self.backend != "numpy" and self.executor not in (
+            "graph-fused", "fused"
+        ):
+            raise ClusterError(
+                f"backend {self.backend!r} requires executor='graph-fused', "
+                f"got {self.executor!r}"
+            )
 
     def signature(self) -> str:
         """Fingerprint tying durable shard results to this exact campaign.
@@ -155,4 +175,14 @@ def plan_shards(
     shards = []
     for k, lo in enumerate(range(0, n, shard_lanes)):
         shards.append(ShardSpec(id=k, lo=lo, hi=min(lo + shard_lanes, n)))
+    # Tiling invariant: the shards must cover [0, n) exactly, gapless and
+    # non-overlapping — a ragged final shard (shard_lanes not dividing n)
+    # included.  The merge layer assumes this; a planner regression here
+    # would otherwise surface as silently missing or duplicated lanes.
+    if (shards[0].lo != 0 or shards[-1].hi != n
+            or any(a.hi != b.lo for a, b in zip(shards, shards[1:]))):
+        raise ClusterError(
+            f"internal error: shard plan does not tile [0, {n}): "
+            + ", ".join(f"[{s.lo},{s.hi})" for s in shards[:8])
+        )
     return shards

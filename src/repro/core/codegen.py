@@ -1012,6 +1012,36 @@ class MemWriteBinding:
     data_off: int
 
 
+def mem_write_bindings(graph: RtlGraph, layout: MemoryLayout) -> List[MemWriteBinding]:
+    """Commit-time bindings for ``layout``'s scratch slots (program order).
+
+    Shared by every lowering of the same layout — the generated-source
+    codegens and the IR-interpreting backends must agree on these offsets
+    or commits would scatter through the wrong scratch.
+    """
+    mem_writes: List[MemWriteBinding] = []
+    for node in graph.memw_nodes:  # original program order
+        sc = layout.scratch[node.nid]
+        ms = layout.mem(node.target)
+        mem_writes.append(
+            MemWriteBinding(
+                node_id=node.nid,
+                clock=node.clock or "",
+                edge=node.edge,
+                mem_pool=ms.pool,
+                mem_base=ms.base,
+                mem_depth=ms.depth,
+                cond_pool=sc.cond.pool,
+                cond_off=sc.cond.offset,
+                addr_pool=sc.addr.pool,
+                addr_off=sc.addr.offset,
+                data_pool=sc.data.pool,
+                data_off=sc.data.offset,
+            )
+        )
+    return mem_writes
+
+
 @dataclass
 class TaskAccess:
     """Offset-level read/write footprint of one macro task.
@@ -1280,27 +1310,7 @@ class KernelCodegen:
 
     def _mem_write_bindings(self) -> List[MemWriteBinding]:
         """Commit-time bindings for this codegen's layout (program order)."""
-        mem_writes: List[MemWriteBinding] = []
-        for node in self.graph.memw_nodes:  # original program order
-            sc = self.layout.scratch[node.nid]
-            ms = self.layout.mem(node.target)
-            mem_writes.append(
-                MemWriteBinding(
-                    node_id=node.nid,
-                    clock=node.clock or "",
-                    edge=node.edge,
-                    mem_pool=ms.pool,
-                    mem_base=ms.base,
-                    mem_depth=ms.depth,
-                    cond_pool=sc.cond.pool,
-                    cond_off=sc.cond.offset,
-                    addr_pool=sc.addr.pool,
-                    addr_off=sc.addr.offset,
-                    data_pool=sc.data.pool,
-                    data_off=sc.data.offset,
-                )
-            )
-        return mem_writes
+        return mem_write_bindings(self.graph, self.layout)
 
     def compile(self) -> CompiledModel:
         t0 = time.perf_counter()
@@ -1369,6 +1379,8 @@ class FusedPrograms:
     transpile_seconds: float = 0.0
     # Rewrite claims the emitter made, for the translation validator.
     audit: List[AuditRecord] = field(default_factory=list)
+    # Which lowering backend produced this bundle (see repro.backends).
+    backend: str = "numpy"
 
 
 class FusedProgramCodegen(KernelCodegen):

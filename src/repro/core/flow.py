@@ -210,6 +210,7 @@ class RTLFlow:
         use_mcmc: bool = False,
         target_weight: float = DEFAULT_TARGET_WEIGHT,
         strategy: str = "levelpack",
+        backend: Optional[str] = None,
     ) -> BatchSimulator:
         """Build a batch simulator for ``n`` stimulus.
 
@@ -217,11 +218,16 @@ class RTLFlow:
         CUDA-Graph-style replay, the default), ``"graph-fused"``,
         ``"graph-conditional"`` (activity-aware dirty-set replay that
         skips quiescent tasks — see docs/activity.md), or ``"stream"``.
+        ``backend`` picks the lowering for the fused engine (see
+        :mod:`repro.backends`; non-numpy backends require
+        ``executor="graph-fused"``).
         """
         model = self.compile(
             target_weight=target_weight, strategy=strategy, use_mcmc=use_mcmc
         )
-        return BatchSimulator(model, n, executor=executor, device=device)
+        return BatchSimulator(
+            model, n, executor=executor, device=device, backend=backend
+        )
 
     # -- stimulus ----------------------------------------------------------------
 

@@ -278,8 +278,16 @@ class DeviceArrays:
         # LANE plays the role of the CUDA thread id within the batch.
         self.lane = np.arange(n, dtype=np.uint64)
         self.track_epochs = track_epochs
-        # Optional host-write observer (called with the variable name on
-        # every named write); see BatchSimulator's clock-cache handling.
+        # Optional host-write observer.  Contract: called with the
+        # variable/memory name on every named mutation (write,
+        # load_memory), and with None for bulk pool overwrites
+        # (restore/rewind) meaning "assume everything changed".  Always
+        # fires BEFORE the mutation.  Paths that mutate pools without a
+        # name and without the hook must be provably cache-neutral: the
+        # register/memory commit (writes only non-input state) and the
+        # quarantine's lane masking of those commits, plus the simulator's
+        # pre-packed stimulus fast path (statically clock-free columns;
+        # see _prepack_stimulus).
         self.write_hook = None
         # Monotone write-epoch counter; offset epochs start at 0 and
         # executors start "never run" (-1), so everything is dirty once.
@@ -485,6 +493,9 @@ class DeviceArrays:
 
         ``values`` may be 1-D (broadcast to all lanes) or 2-D (depth, N).
         """
+        hook = self.write_hook
+        if hook is not None:
+            hook(name)
         m = self.layout.mem(name)
         pool = self.pools[m.pool]
         block = pool[m.base * self.n : (m.base + m.depth) * self.n].reshape(
@@ -626,6 +637,12 @@ class DeviceArrays:
         return [p.copy() for p in self.pools]
 
     def restore(self, snap: List[np.ndarray]) -> None:
+        # Bulk invalidation BEFORE the copy: every named value (clock
+        # levels included) is about to change, and observers must never
+        # see post-restore pool state attributed to a stale cache entry.
+        hook = self.write_hook
+        if hook is not None:
+            hook(None)
         for dst, src in zip(self.pools, snap):
             np.copyto(dst, src)
         self.mark_all_written()

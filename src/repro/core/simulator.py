@@ -48,6 +48,7 @@ def make_executor(
     model: CompiledModel,
     device: SimulatedDevice,
     kind: str = "graph",
+    backend: Optional[str] = None,
     **kwargs,
 ):
     """Executor factory: 'graph' (default), 'graph-fused', 'graph-inlined',
@@ -64,11 +65,23 @@ def make_executor(
     :class:`~repro.gpu.graphexec.ConditionalGraphExecutor` and
     docs/activity.md), trading a small per-replay dirty-set check for
     skipping quiescent logic entirely.
+
+    ``backend`` selects the lowering for the fused engine (see
+    :mod:`repro.backends`); only ``graph-fused`` executes alternative
+    backend bundles (the sanitizer runs the reference task path, and
+    ``repro verify --backend`` checks backends statically).
     """
+    if backend not in (None, "numpy") and kind not in (
+        "graph-fused", "fused", "sanitize", "sanitized"
+    ):
+        raise SimulationError(
+            f"backend {backend!r} requires the fused executor "
+            f"(executor='graph-fused'), not {kind!r}"
+        )
     if kind == "graph":
         return CudaGraphExecutor(model, device, fused=False)
     if kind in ("graph-fused", "fused"):
-        return FusedProgramExecutor(model, device, **kwargs)
+        return FusedProgramExecutor(model, device, backend=backend, **kwargs)
     if kind in ("graph-inlined", "inlined"):
         return CudaGraphExecutor(model, device, fused=True)
     if kind in ("graph-conditional", "conditional"):
@@ -111,6 +124,7 @@ class BatchSimulator:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         fault_isolation: bool = False,
+        backend: Optional[str] = None,
     ):
         self.model = model
         self.n = n
@@ -118,9 +132,14 @@ class BatchSimulator:
         self.metrics = metrics if metrics is not None else get_metrics()
         self.device = device or SimulatedDevice(tracer=self.tracer)
         self.executor = (
-            make_executor(model, self.device, executor)
+            make_executor(model, self.device, executor, backend=backend)
             if isinstance(executor, str)
             else executor
+        )
+        # The lowering backend actually in effect (executors built
+        # elsewhere carry their own; plain executors are numpy-lowered).
+        self.backend = (
+            getattr(self.executor, "backend", None) or backend or "numpy"
         )
         # The fused executor runs against its own bit-packed layout and
         # carries the matching memory-write bindings; every other
@@ -575,9 +594,17 @@ class BatchSimulator:
         if self.metrics.enabled:
             self.metrics.inc("sim.cycles")
 
-    def _on_host_write(self, name: str) -> None:
-        """DeviceArrays write hook: drop a written clock's cached level."""
-        if name in self._prev_clock:
+    def _on_host_write(self, name: Optional[str]) -> None:
+        """DeviceArrays write hook: drop a written clock's cached level.
+
+        ``name is None`` is the bulk-invalidation signal (checkpoint
+        restore / rewind overwrote whole pools): every cached clock
+        scalar is stale, so edge detection must fall back to the
+        per-lane uniformity scan until set_clock repopulates them.
+        """
+        if name is None:
+            self._clock_scalar.clear()
+        elif name in self._prev_clock:
             self._clock_scalar.pop(name, None)
 
     def _prepack_stimulus(self, stimulus) -> Optional[Dict[str, np.ndarray]]:

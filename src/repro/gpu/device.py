@@ -101,36 +101,59 @@ class SimulatedDevice:
     # -- primitive operations ---------------------------------------------------
 
     def launch(self, kernel: Callable, args: tuple, stream: str = "s0") -> None:
-        """Launch one kernel through a stream (one CUDA call)."""
+        """Launch one kernel through a stream (one CUDA call).
+
+        A kernel that raises rolls the stats back to their pre-launch
+        values: a failed launch never happened as far as accounting is
+        concerned, so a caller that retries (pipeline fallback, fault
+        isolation) does not double-count launches or device seconds.
+        """
         with self._lock:
-            self.stats.kernel_launches += 1
-            self.stats.overhead_seconds += self.kernel_launch_s
-            t0 = time.perf_counter()
-            with self.tracer.span(getattr(kernel, "__name__", "k"),
-                                  resource=f"GPU:{stream}"):
-                kernel(*args)
-            self.stats.busy_seconds += time.perf_counter() - t0
+            snap = self.stats.clone()
+            try:
+                self.stats.kernel_launches += 1
+                self.stats.overhead_seconds += self.kernel_launch_s
+                t0 = time.perf_counter()
+                with self.tracer.span(getattr(kernel, "__name__", "k"),
+                                      resource=f"GPU:{stream}"):
+                    kernel(*args)
+                self.stats.busy_seconds += time.perf_counter() - t0
+            except BaseException:
+                self.stats.load(snap)
+                raise
 
     def launch_graph(self, kernels: Sequence[Callable], args: tuple) -> None:
-        """Replay an instantiated graph: one CUDA call for all kernels."""
+        """Replay an instantiated graph: one CUDA call for all kernels.
+
+        If any kernel in the sequence raises, the partial accounting
+        (the launch count, the modeled overhead, and the busy time of
+        the kernels that did run) is rolled back, mirroring ``launch``:
+        metrics and utilization only ever see completed launches.
+        """
         with self._lock:
-            self.stats.graph_launches += 1
-            self.stats.overhead_seconds += self.graph_launch_s
-            t0 = time.perf_counter()
-            tracer = self.tracer
-            if tracer.enabled:
-                # Per-task kernel spans nest under the graph-launch span,
-                # giving the per-kernel timing the MCMC estimator and the
-                # profile report read back from the aggregates.
-                with tracer.span("cudaGraphLaunch", resource="GPU"):
+            snap = self.stats.clone()
+            try:
+                self.stats.graph_launches += 1
+                self.stats.overhead_seconds += self.graph_launch_s
+                t0 = time.perf_counter()
+                tracer = self.tracer
+                if tracer.enabled:
+                    # Per-task kernel spans nest under the graph-launch
+                    # span, giving the per-kernel timing the MCMC
+                    # estimator and the profile report read back from
+                    # the aggregates.
+                    with tracer.span("cudaGraphLaunch", resource="GPU"):
+                        for k in kernels:
+                            with tracer.span(getattr(k, "__name__", "k"),
+                                             resource="GPU"):
+                                k(*args)
+                else:
                     for k in kernels:
-                        with tracer.span(getattr(k, "__name__", "k"),
-                                         resource="GPU"):
-                            k(*args)
-            else:
-                for k in kernels:
-                    k(*args)
-            self.stats.busy_seconds += time.perf_counter() - t0
+                        k(*args)
+                self.stats.busy_seconds += time.perf_counter() - t0
+            except BaseException:
+                self.stats.load(snap)
+                raise
 
     def record_event(self) -> "DeviceEvent":
         with self._lock:
@@ -169,6 +192,11 @@ class SimulatedDevice:
 
     def reset(self) -> None:
         self.stats.reset()
+
+
+# The paper's target device; the simulated device stands in for it
+# everywhere, so the names alias (tests and docs use either).
+GpuDevice = SimulatedDevice
 
 
 class DeviceEvent:

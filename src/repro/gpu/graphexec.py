@@ -82,10 +82,23 @@ class FusedProgramExecutor:
     name = "graph-fused"
     wants_packed = True
 
-    def __init__(self, model: CompiledModel, device: SimulatedDevice):
+    def __init__(
+        self,
+        model: CompiledModel,
+        device: SimulatedDevice,
+        programs=None,
+        backend: Optional[str] = None,
+    ):
         self.model = model
         self.device = device
-        programs = model.fused()
+        if programs is None:
+            if backend in (None, "numpy"):
+                programs = model.fused()
+            else:
+                from repro.backends import get_backend
+
+                programs = get_backend(backend).compile(model)
+        self.backend = backend or getattr(programs, "backend", "numpy")
         self.programs = programs
         self.layout = programs.layout
         self.mem_writes = programs.mem_writes

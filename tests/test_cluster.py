@@ -80,6 +80,15 @@ class TestPlanShards:
         with pytest.raises(ClusterError):
             plan_shards(16, workers=2, shard_lanes=0)
 
+    def test_non_dividing_shard_lanes_produce_ragged_tail(self):
+        # 100 lanes in 24-lane shards: four full shards plus a ragged
+        # 4-lane tail, covering [0, 100) exactly.
+        shards = plan_shards(100, workers=2, shard_lanes=24)
+        assert [(s.lo, s.hi) for s in shards] == [
+            (0, 24), (24, 48), (48, 72), (72, 96), (96, 100)
+        ]
+        assert shards[-1].n == 4
+
 
 # ---------------------------------------------------------------------------
 # Satellite: TextStimulusBatch.lanes (no-decode slicing)
@@ -392,6 +401,27 @@ def test_inline_campaign_bit_identical(design, executor):
     )
     res = run_campaign(spec, workers=0, shard_lanes=7)
     assert len(res.shards) == 4
+    _assert_campaign_matches(res, ref_out, ref_faults)
+
+
+def test_ragged_final_shard_merges_bit_identical():
+    # shard_lanes=24 does not divide n=100: the merge layer must place
+    # the ragged 4-lane tail exactly, lane for lane, against a
+    # single-process reference run.
+    n, cycles, seed = 100, 30, 7
+    bundle = get_design("counter")
+    flow = RTLFlow.from_source(bundle.source, bundle.top, lint=False)
+    model = flow.compile()
+    ref_out, ref_faults = _single_process(
+        bundle, model, n, cycles, seed, "graph", faults=[]
+    )
+    spec = CampaignSpec(
+        n=n, cycles=cycles, design="counter", seed=seed, executor="graph",
+        watch=bundle.watch,
+    )
+    res = run_campaign(spec, workers=0, shard_lanes=24)
+    assert len(res.shards) == 5
+    assert res.shards[-1].hi - res.shards[-1].lo == 4
     _assert_campaign_matches(res, ref_out, ref_faults)
 
 

@@ -319,3 +319,50 @@ def test_clock_scalar_cache_invalidated_by_host_write():
     sim.arrays.write("clk", (np.arange(8) % 2).astype(np.uint64))
     with pytest.raises(SimulationError, match="batch-uniform"):
         sim._clock_level("clk")
+
+
+def test_direct_clock_poke_triggers_edge_detection():
+    """Regression: poking the clock via ``arrays.write`` (bypassing
+    ``set_clock``) must invalidate the scalar-level cache so the fused
+    path sees the edge — a stale cached level would silently swallow
+    the posedge and the counter would never advance."""
+    model = _model(COUNTER_V, "counter")
+    n = 8
+    sim = BatchSimulator(model, n, executor="graph-fused")
+    sim.set_input("rst", np.zeros(n, dtype=np.uint64))
+    sim.set_input("en", np.ones(n, dtype=np.uint64))
+    sim.set_clock(0)
+    sim.evaluate()
+    sim.set_clock(1)
+    sim.evaluate()  # posedge via the normal path
+    base = np.asarray(sim.get("count")).copy()
+    # Now toggle the clock entirely through direct pool writes.
+    sim.arrays.write("clk", np.zeros(n, dtype=np.uint64))
+    sim.evaluate()
+    sim.arrays.write("clk", np.ones(n, dtype=np.uint64))
+    sim.evaluate()
+    np.testing.assert_array_equal(np.asarray(sim.get("count")), base + 1)
+
+
+def test_pool_restore_bulk_invalidates_clock_cache():
+    """Regression: ``DeviceArrays.restore`` overwrites whole pools, so
+    every cached clock scalar is stale.  The hook's ``None`` signal must
+    clear the cache — otherwise edge detection keeps reporting the
+    pre-restore level and no edge ever fires again."""
+    model = _model(COUNTER_V, "counter")
+    n = 8
+    sim = BatchSimulator(model, n, executor="graph-fused")
+    sim.set_input("rst", np.zeros(n, dtype=np.uint64))
+    sim.set_input("en", np.ones(n, dtype=np.uint64))
+    sim.set_clock(0)
+    sim.evaluate()
+    snap = sim.arrays.snapshot()  # clock low in the snapshot
+    sim.set_clock(1)
+    sim.evaluate()  # posedge; scalar cache now says clk=1
+    base = np.asarray(sim.get("count")).copy()
+    sim.arrays.restore(snap)  # pools say clk=0 again
+    assert sim._clock_level("clk") == 0  # not the stale cached 1
+    sim.evaluate()  # settles prev_clock at the restored low level
+    sim.set_clock(1)
+    sim.evaluate()  # must be seen as a fresh posedge
+    np.testing.assert_array_equal(np.asarray(sim.get("count")), base)

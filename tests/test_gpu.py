@@ -20,6 +20,10 @@ def adder_model():
     return transpile(compile_graph(HIER_V, "adder4"), target_weight=4.0)
 
 
+def _boom(*_args):
+    raise RuntimeError("boom")
+
+
 class TestDeviceAccounting:
     def test_stream_pays_per_kernel_launch(self, adder_model):
         device = SimulatedDevice()
@@ -68,6 +72,36 @@ class TestDeviceAccounting:
         device.stats.busy_seconds = 5.0
         assert device.utilization(2.0) == 1.0
         assert device.utilization(10.0) == 0.5
+
+    def test_launch_rolls_back_stats_on_kernel_failure(self):
+        device = SimulatedDevice()
+        device.launch(lambda: None, ())
+        before = device.stats.clone()
+        with pytest.raises(RuntimeError, match="boom"):
+            device.launch(_boom, ())
+        # A failed launch never happened as far as accounting goes.
+        assert device.stats == before
+        device.launch(lambda: None, ())  # retry counts exactly once
+        assert device.stats.kernel_launches == before.kernel_launches + 1
+
+    def test_launch_graph_rolls_back_partial_accounting(self):
+        device = SimulatedDevice()
+        ran = []
+        kernels = [lambda: ran.append("a"), _boom, lambda: ran.append("c")]
+        before = device.stats.clone()
+        with pytest.raises(RuntimeError, match="boom"):
+            device.launch_graph(kernels, ())
+        # The first kernel ran, but neither its busy time nor the graph
+        # launch count may survive the failure.
+        assert ran == ["a"]
+        assert device.stats == before
+        device.launch_graph([lambda: None], ())
+        assert device.stats.graph_launches == before.graph_launches + 1
+
+    def test_gpu_device_alias(self):
+        from repro.gpu.device import GpuDevice
+
+        assert GpuDevice is SimulatedDevice
 
 
 class TestExecutorFactory:
