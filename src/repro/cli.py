@@ -28,6 +28,17 @@ coverage   Run random stimulus and report toggle coverage.
 profile    Run a bundled design under full telemetry and export a
            Chrome-trace JSON (loads in ui.perfetto.dev) plus a metrics
            JSON (per-task kernel times, pool bytes, MCMC statistics).
+serve      Run the long-running campaign service: HTTP/JSON job queue,
+           multi-tenant fair scheduling at shard granularity, and a
+           content-addressed result store (identical shards are never
+           re-simulated).  ``submit``/``jobs``/``result``/``cancel``
+           are the matching client commands.
+submit     Submit a campaign to a running service (``--wait`` blocks
+           until it finishes and prints the merged-output digest).
+jobs       List a service's jobs and their progress.
+result     Fetch a finished job's merged outputs, digest and cache
+           metrics.
+cancel     Cancel a queued/running job (releases its queue slots).
 designs    List the bundled benchmark designs.
 
 ``simulate`` and ``coverage`` also accept ``--trace-json PATH`` /
@@ -649,6 +660,7 @@ def cmd_campaign(args) -> int:
         inject_worker_crash=crash,
         heartbeat_timeout=args.heartbeat_timeout,
         max_restarts=args.max_restarts,
+        store=args.store,
     )
 
     rows = []
@@ -665,7 +677,11 @@ def cmd_campaign(args) -> int:
                  else "") + ")",
     ))
     print(result.summary())
-    cached = sum(1 for o in result.shards if o.cached)
+    hits = sum(1 for o in result.shards if o.cache_hit)
+    if args.store:
+        print(f"store: {hits}/{len(result.shards)} shard(s) served from "
+              f"{args.store} ({len(result.shards) - hits} simulated)")
+    cached = sum(1 for o in result.shards if o.cached and not o.cache_hit)
     if cached:
         print(f"resumed {cached}/{len(result.shards)} shards from "
               f"persisted results")
@@ -688,6 +704,144 @@ def cmd_campaign(args) -> int:
         print(f"wrote {args.fault_report}")
     if len(report["faulted_lanes"]) >= report["n"]:
         return 1  # every lane died: nothing useful survived
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the long-running campaign service until SIGTERM/SIGINT."""
+    from repro.serve import CampaignService, run_service
+
+    service = CampaignService(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        shard_lanes=args.shard_lanes,
+        max_queued_shards=args.max_queued_shards,
+        tenant_inflight_cap=args.tenant_inflight_cap,
+        store_max_bytes=args.store_max_bytes,
+        store_max_entries=args.store_max_entries,
+        max_restarts=args.max_restarts,
+    )
+    return run_service(service)
+
+
+def _submit_spec(args):
+    """Build the CampaignSpec a ``repro submit`` invocation describes."""
+    from repro import resilience as rz
+    from repro.cluster import CampaignSpec
+    from repro.designs import get_design
+
+    bundle = get_design(args.design)
+    lane_faults = []
+    for s in args.inject_lane_fault:
+        try:
+            f = rz.parse_lane_fault(s)
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+        lane_faults.append((f.cycle, f.lane, f.reason))
+    return CampaignSpec(
+        n=args.batch,
+        cycles=args.cycles,
+        design=args.design,
+        seed=args.seed,
+        executor=_resolve_executor_backend(args.executor, args.backend),
+        backend=args.backend,
+        watch=bundle.watch,
+        fault_isolation=bool(lane_faults),
+        lane_faults=lane_faults,
+    )
+
+
+def _print_job_line(job: dict) -> None:
+    line = (f"{job['id']}  {job['state']:<9} tenant={job['tenant']} "
+            f"shards={job['shards_done']}/{job['shards_total']} "
+            f"hits={job['store_hits']} simulated={job['shards_simulated']}")
+    if job.get("result_digest"):
+        line += f" digest={job['result_digest'][:12]}"
+    if job.get("error"):
+        line += f" error={job['error']}"
+    print(line)
+
+
+def cmd_submit(args) -> int:
+    from repro.serve import ServiceClient, spec_to_dict
+
+    spec = _submit_spec(args)
+    client = ServiceClient(args.url)
+    status = client.submit(spec_to_dict(spec), tenant=args.tenant,
+                           weight=args.weight)
+    job = status["job"]
+    print(f"submitted {job['id']} (tenant={job['tenant']}, "
+          f"{job['shards_total']} shards, "
+          f"{job['store_hits']} cache hits)")
+    if args.wait:
+        status = client.wait(job["id"], timeout=args.timeout)
+        job = status["job"]
+        _print_job_line({**job, **status["progress"]})
+    if args.status_json:
+        from repro import resilience as rz
+
+        rz.atomic_write_json(args.status_json, status)
+        print(f"wrote {args.status_json}")
+    if args.wait and job["state"] != "done":
+        return 1
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    import json as json_mod
+
+    from repro.serve import ServiceClient
+
+    client = ServiceClient(args.url)
+    jobs = client.jobs(tenant=args.tenant)
+    if args.json:
+        print(json_mod.dumps({"jobs": jobs}, indent=1))
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        _print_job_line(job)
+    return 0
+
+
+def cmd_result(args) -> int:
+    import json as json_mod
+
+    from repro.serve import ServiceClient
+
+    client = ServiceClient(args.url)
+    res = client.result(args.job)
+    if args.json:
+        print(json_mod.dumps(res, indent=1))
+        return 0
+    job = res["job"]
+    m = res["metrics"]
+    rows = []
+    for name, rec in res["outputs"].items():
+        preview = " ".join(rec["hex"][:8])
+        more = " ..." if len(rec["hex"]) > 8 else ""
+        rows.append([name, f"{preview}{more}"])
+    print(format_table(
+        ["output", "final values (hex, first lanes)"], rows,
+        title=f"{job['id']}: {job['spec']['n']} lanes x "
+              f"{job['spec']['cycles']} cycles",
+    ))
+    print(f"digest: {res['digest']}")
+    print(f"cache: {m['store_hits']} hits, {m['shards_simulated']} "
+          f"simulated (hit rate {m['hit_rate']:.2f})")
+    return 0
+
+
+def cmd_cancel(args) -> int:
+    from repro.serve import ServiceClient
+
+    status = ServiceClient(args.url).cancel(args.job)
+    job = status["job"]
+    print(f"{job['id']}: {job['state']} "
+          f"({job['cancelled_shards']} shard(s) not run)")
     return 0
 
 
@@ -930,6 +1084,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="reload completed shard results from "
                         "--checkpoint-dir and restart unfinished shards "
                         "from their checkpoints")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="content-addressed result store: shards whose "
+                        "content key is already stored are adopted "
+                        "instead of simulated, and fresh results are "
+                        "published back (shareable with `repro serve`)")
     p.add_argument("--heartbeat-timeout", type=float, default=None,
                    metavar="T",
                    help="declare a worker dead after T seconds of silence "
@@ -952,6 +1111,92 @@ def build_parser() -> argparse.ArgumentParser:
                         "every worker re-verify its rebuilt model")
     add_telemetry_args(p)
     p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the campaign service: HTTP job queue + multi-tenant "
+             "fair scheduling + content-addressed result cache",
+    )
+    p.add_argument("--data-dir", required=True, metavar="DIR",
+                   help="root for the result store and durable job records")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8463,
+                   help="listen port (0 picks a free one; default 8463)")
+    p.add_argument("--workers", "-w", type=int, default=2,
+                   help="worker processes (0 = one in-process worker "
+                        "thread, the deterministic debug mode)")
+    p.add_argument("--shard-lanes", type=int, default=None, metavar="L",
+                   help="lanes per shard (default: sized per campaign for "
+                        "~4 shards per worker)")
+    p.add_argument("--max-queued-shards", type=int, default=1024,
+                   help="bounded-queue backpressure limit; submissions "
+                        "past it get HTTP 429 (default 1024)")
+    p.add_argument("--tenant-inflight-cap", type=int, default=None,
+                   metavar="K",
+                   help="at most K of one tenant's shards on workers at "
+                        "once (default: no cap)")
+    p.add_argument("--store-max-bytes", type=int, default=None,
+                   help="evict least-recently-used store entries past "
+                        "this many bytes (default: unbounded)")
+    p.add_argument("--store-max-entries", type=int, default=None,
+                   help="evict least-recently-used store entries past "
+                        "this count (default: unbounded)")
+    p.add_argument("--max-restarts", type=int, default=3,
+                   help="per-shard worker-death retry budget (default 3)")
+    p.set_defaults(fn=cmd_serve)
+
+    def add_client_url(p):
+        p.add_argument("--url", default="http://127.0.0.1:8463",
+                       help="service base URL (default http://127.0.0.1:8463)")
+
+    p = sub.add_parser(
+        "submit", help="submit a campaign to a running `repro serve`"
+    )
+    p.add_argument("design", help="bundled design name (see `repro designs`)")
+    p.add_argument("--batch", "-n", type=int, default=256)
+    p.add_argument("--cycles", "-c", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--executor", choices=["graph", "graph-fused", "graph-conditional", "stream"],
+                   default="graph")
+    add_backend_arg(p)
+    p.add_argument("--inject-lane-fault", action="append", default=[],
+                   metavar="CYCLE:LANE[:REASON]",
+                   help="deterministically quarantine a global LANE at "
+                        "CYCLE (repeatable)")
+    p.add_argument("--tenant", default="default",
+                   help="tenant the job is accounted to (fair scheduling)")
+    p.add_argument("--weight", type=float, default=1.0,
+                   help="tenant scheduling weight (default 1.0)")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job finishes; exit 1 unless done")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="--wait timeout in seconds (default 300)")
+    p.add_argument("--status-json", default=None, metavar="PATH",
+                   help="write the final job-status JSON here")
+    add_client_url(p)
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("jobs", help="list a service's jobs")
+    p.add_argument("--tenant", default=None, help="filter by tenant")
+    p.add_argument("--json", action="store_true")
+    add_client_url(p)
+    p.set_defaults(fn=cmd_jobs)
+
+    p = sub.add_parser(
+        "result",
+        help="fetch a finished job's merged outputs, digest and "
+             "cache metrics",
+    )
+    p.add_argument("job", help="job id (see `repro jobs`)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full result payload as JSON")
+    add_client_url(p)
+    p.set_defaults(fn=cmd_result)
+
+    p = sub.add_parser("cancel", help="cancel a queued/running job")
+    p.add_argument("job", help="job id (see `repro jobs`)")
+    add_client_url(p)
+    p.set_defaults(fn=cmd_cancel)
 
     p = sub.add_parser("designs", help="list bundled designs")
     p.set_defaults(fn=cmd_designs)

@@ -99,6 +99,7 @@ class CampaignCoordinator:
         start_method: str = "spawn",
         metrics=None,
         tracer=None,
+        store=None,
     ):
         spec.validate()
         if workers < 0:
@@ -124,6 +125,15 @@ class CampaignCoordinator:
         self.start_method = start_method
         self.metrics = metrics
         self.tracer = tracer
+        # Content-addressed result store (repro.serve.store.ResultStore
+        # or a directory path): shards whose content key is already in
+        # the store are adopted instead of simulated, and every freshly
+        # simulated shard is published back for future campaigns.
+        if isinstance(store, str):
+            from repro.serve.store import ResultStore
+
+            store = ResultStore(store)
+        self.store = store
         self.restarts = 0
         self._outcomes: Dict[int, ShardOutcome] = {
             s.id: ShardOutcome(id=s.id, lo=s.lo, hi=s.hi, attempts=0)
@@ -181,6 +191,23 @@ class CampaignCoordinator:
             return None
         return payload
 
+    def _load_from_store(self, shard: ShardSpec):
+        """Adopt ``shard``'s result from the content-addressed store.
+
+        The stored payload may come from a *different* campaign whose
+        shard content matched (that is the point of content addressing);
+        :func:`~repro.serve.store.adopt_payload` re-stamps it with this
+        campaign's signature after the key proves equivalence.
+        """
+        from repro.serve.store import adopt_payload
+
+        payload = self.store.get(self.spec.shard_signature(shard))
+        if payload is None or payload.get("schema") != PAYLOAD_SCHEMA:
+            return None
+        payload = adopt_payload(payload, self.spec, shard)
+        self._outcomes[shard.id].cache_hit = True
+        return payload
+
     # -- task construction -----------------------------------------------------
 
     def _make_task(self, shard: ShardSpec, attempt: int) -> dict:
@@ -220,6 +247,8 @@ class CampaignCoordinator:
                 self._load_persisted(shard)
                 if (self.resume and self.checkpoint_dir) else None
             )
+            if payload is None and self.store is not None:
+                payload = self._load_from_store(shard)
             if payload is not None:
                 done[shard.id] = payload
                 out = self._outcomes[shard.id]
@@ -361,6 +390,10 @@ class CampaignCoordinator:
             )
         done[shard_id] = payload
         self._persist_payload(payload)
+        if self.store is not None:
+            self.store.put(
+                self.spec.shard_signature(self.shards[shard_id]), payload
+            )
         out = self._outcomes[shard_id]
         out.attempts = payload.get("attempt", 0) + 1
         out.cycles_run = payload.get("cycles_run", 0)
@@ -401,9 +434,16 @@ class CampaignCoordinator:
         m.set_gauge("cluster.lanes", self.spec.n)
         if self.restarts:
             m.inc("cluster.worker_restarts", self.restarts)
-        cached = sum(1 for o in result.shards if o.cached)
+        cached = sum(1 for o in result.shards if o.cached and not o.cache_hit)
         if cached:
             m.inc("cluster.shards_resumed_from_results", cached)
+        if self.store is not None:
+            hits = sum(1 for o in result.shards if o.cache_hit)
+            m.inc("cluster.store_hits", hits)
+            m.inc("cluster.store_misses", len(self.shards) - hits)
+            m.set_gauge(
+                "cluster.store_hit_rate", hits / max(1, len(self.shards))
+            )
         for o in result.shards:
             if not o.cached:
                 m.observe("cluster.shard_wall_seconds", o.wall_seconds)

@@ -48,6 +48,7 @@ class ShardOutcome:
     wall_seconds: float = 0.0
     pid: Optional[int] = None
     cached: bool = False  # loaded from a persisted result on --resume
+    cache_hit: bool = False  # served from the content-addressed store
 
     def to_dict(self) -> dict:
         return {
@@ -55,7 +56,7 @@ class ShardOutcome:
             "attempts": self.attempts, "cycles_run": self.cycles_run,
             "resumed_from": self.resumed_from,
             "wall_seconds": self.wall_seconds, "pid": self.pid,
-            "cached": self.cached,
+            "cached": self.cached, "cache_hit": self.cache_hit,
         }
 
 
@@ -194,7 +195,27 @@ def merge_payloads(
     ``payloads`` must cover the campaign's lanes exactly once; the merge
     validates coverage of the lane axis rather than trusting the
     scheduler (a lost shard must fail loudly, not zero-fill).
+
+    Every payload must also carry this campaign's exact
+    :meth:`~repro.cluster.spec.CampaignSpec.signature` — results
+    produced under a different spec (design, seed, cycles, backend, ...)
+    are rejected up front with a clear error instead of surfacing later
+    as a numpy shape mismatch (or worse, merging cleanly into silently
+    wrong lanes when the shapes happen to agree).
     """
+    expected_sig = spec.signature()
+    bad_sigs = sorted(
+        {str(p.get("signature"))[:12] for p in payloads
+         if p.get("signature") != expected_sig}
+    )
+    if bad_sigs:
+        raise ClusterError(
+            "shard results were produced under mismatched campaign "
+            f"signatures: expected {expected_sig[:12]}..., got "
+            + ", ".join(f"{s}..." for s in bad_sigs)
+            + " (design/seed/cycles/backend or fault script changed); "
+            "refusing to merge results from different campaigns"
+        )
     payloads = sorted(payloads, key=lambda p: p["shard"][1])
     covered = 0
     for p in payloads:

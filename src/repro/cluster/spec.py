@@ -142,6 +142,32 @@ class CampaignSpec:
             h.update(f"{key}={payload[key]!r};".encode())
         return h.hexdigest()
 
+    def shard_signature(self, shard: ShardSpec) -> str:
+        """Content address of one shard's result, independent of the
+        rest of the campaign.
+
+        Like :meth:`signature` this covers every result-affecting field
+        (design text/digest, seed, cycles, batch width ``n`` — lane
+        stimulus is sliced out of the full ``n``-wide batch, so it is
+        part of the content — executor, backend, stop/trace options),
+        but it replaces the *global* ``lane_faults`` list with the lane
+        range ``[lo, hi)`` plus only the faults re-based into that
+        range.  Two campaigns that differ only in faults targeting
+        *other* shards therefore share this shard's key — the property
+        the content-addressed result store exploits to re-simulate only
+        the shards an edited campaign actually changed.
+        """
+        payload = asdict(self)
+        del payload["lane_faults"]
+        payload["shard_range"] = (shard.lo, shard.hi)
+        payload["shard_faults"] = sorted(
+            (int(c), int(l), str(r)) for c, l, r in self.shard_faults(shard)
+        )
+        h = hashlib.sha256()
+        for key in sorted(payload):
+            h.update(f"{key}={payload[key]!r};".encode())
+        return h.hexdigest()
+
     def shard_faults(self, shard: ShardSpec) -> List[Tuple[int, int, str]]:
         """This shard's lane faults, re-based to shard-local lane indices."""
         return [

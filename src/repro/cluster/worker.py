@@ -193,6 +193,13 @@ class _WorkerContext:
                     # survives, exactly like a real OOM-kill.
                     os.kill(os.getpid(), signal.SIGKILL)
 
+            # Coverage sampling and crash injection ride the progress
+            # hook and need every cycle; plain heartbeat/streaming
+            # consumers may rate-limit it (the campaign service does).
+            min_interval = self.cfg.get("progress_min_interval", 0.0)
+            if cov is not None or crash_cycle is not None:
+                min_interval = 0.0
+
             outputs = sim.run(
                 stim,
                 watch=spec.watch,
@@ -204,6 +211,7 @@ class _WorkerContext:
                 fault_plan=plan,
                 start_cycle=start,
                 progress=progress,
+                progress_min_interval=min_interval,
             )
             if mgr is not None:
                 # Terminal snapshot: a coordinator killed between this

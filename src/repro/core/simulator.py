@@ -685,6 +685,7 @@ class BatchSimulator:
         fault_plan=None,
         start_cycle: int = 0,
         progress: Optional[Callable[[int], None]] = None,
+        progress_min_interval: float = 0.0,
     ) -> Dict[str, np.ndarray]:
         """Run a batch stimulus.
 
@@ -718,6 +719,15 @@ class BatchSimulator:
         polling breaks the loop) — the hook the cluster worker uses for
         heartbeats, per-cycle coverage sampling and crash injection.  It
         must not mutate simulation state.
+
+        ``progress_min_interval`` rate-limits the hook: when > 0, the
+        hook fires at most once per that many wall-clock seconds (plus
+        always on the final stimulus cycle, so completion is observed).
+        On a hot fused run a per-cycle Python callback can dominate the
+        loop; a streaming consumer (the campaign service's job-status
+        feed) only needs a few samples per second.  The default of 0
+        preserves the every-cycle contract above — callers that sample
+        coverage or inject faults from the hook must keep it at 0.
         """
         names = list(watch) if watch is not None else [
             s.name for s in self.model.design.outputs
@@ -733,6 +743,9 @@ class BatchSimulator:
         if checkpoint is not None:
             checkpoint.begin(self.cycles_run)
         traces: Dict[str, List[np.ndarray]] = {n: [] for n in names}
+        # Rate-limited progress: fire immediately on the first completed
+        # cycle, then at most once per interval.
+        last_progress = time.monotonic() - progress_min_interval
         packed_cols = self._prepack_stimulus(stimulus)
         # Direct apply: when EVERY stimulus input is a packed 1-bit slot
         # (and none is a clock), each cycle's input application is just a
@@ -787,7 +800,14 @@ class BatchSimulator:
             if checkpoint is not None:
                 checkpoint.maybe_save(self)
             if progress is not None:
-                progress(c)
+                if progress_min_interval <= 0.0:
+                    progress(c)
+                else:
+                    now = time.monotonic()
+                    if (now - last_progress >= progress_min_interval
+                            or c == total - 1):
+                        last_progress = now
+                        progress(c)
             if self.quarantine is not None and not self.quarantine.any_active:
                 # Every lane is dead: nothing left that can make progress
                 # (or assert / block a stop signal).  Bail out rather than

@@ -1,0 +1,139 @@
+"""Synchronous client for the campaign service (stdlib ``http.client``).
+
+The library surface behind the ``repro submit`` / ``repro jobs`` /
+``repro result`` / ``repro cancel`` subcommands, and the handle the
+tests drive the service with.  Every method speaks the JSON API
+documented in :mod:`repro.serve.server`; HTTP error statuses raise
+:class:`ServiceError` (429 raises :class:`QueueFullError` so callers
+can implement backoff).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Optional
+from urllib.parse import urlencode, urlsplit
+
+from repro.cluster.spec import CampaignSpec
+from repro.serve.protocol import spec_to_dict
+from repro.utils.errors import QueueFullError, ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to one ``repro serve`` instance at ``base_url``."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8463",
+                 timeout: float = 30.0):
+        url = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if url.scheme not in ("", "http"):
+            raise ServiceError(
+                f"only http:// service URLs are supported, got {base_url!r}"
+            )
+        self.host = url.hostname or "127.0.0.1"
+        self.port = url.port or 8463
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None,
+                 query: Optional[dict] = None) -> dict:
+        if query:
+            path = f"{path}?{urlencode(query)}"
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                resp = conn.getresponse()
+                raw = resp.read()
+            except (ConnectionError, OSError) as exc:
+                raise ServiceError(
+                    f"cannot reach service at {self.host}:{self.port}: {exc}"
+                ) from exc
+            try:
+                data = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    f"service returned non-JSON ({resp.status}): {raw[:200]!r}"
+                ) from exc
+            if resp.status == 429:
+                raise QueueFullError(data.get("error", "queue full"))
+            if resp.status >= 400:
+                raise ServiceError(
+                    data.get("error", f"HTTP {resp.status} on {method} {path}")
+                )
+            return data
+        finally:
+            conn.close()
+
+    # -- API -------------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def wait_ready(self, timeout: float = 15.0, poll: float = 0.1) -> dict:
+        """Poll ``/healthz`` until the server answers (startup races)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except ServiceError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll)
+
+    def submit(self, spec, tenant: str = "default",
+               weight: float = 1.0) -> dict:
+        """Submit a campaign; ``spec`` is a CampaignSpec or its dict."""
+        if isinstance(spec, CampaignSpec):
+            spec = spec_to_dict(spec)
+        return self._request(
+            "POST", "/jobs",
+            body={"spec": spec, "tenant": tenant, "weight": weight},
+        )
+
+    def jobs(self, tenant: Optional[str] = None) -> list:
+        query = {"tenant": tenant} if tenant else None
+        return self._request("GET", "/jobs", query=query)["jobs"]
+
+    def status(self, job_id: str, since: Optional[int] = None) -> dict:
+        query = {"since": since} if since is not None else None
+        return self._request("GET", f"/jobs/{job_id}", query=query)
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.05) -> dict:
+        """Block until ``job_id`` reaches a terminal state.
+
+        Polls the incremental status endpoint with a ``since`` cursor
+        (each poll only transfers new events) and returns the final
+        status dict; raises :class:`ServiceError` on timeout.
+        """
+        deadline = time.monotonic() + timeout
+        since = 0
+        while True:
+            status = self.status(job_id, since=since)
+            since = status["next_since"]
+            if status["job"]["state"] in ("done", "failed", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out waiting for job {job_id} "
+                    f"(state {status['job']['state']})"
+                )
+            time.sleep(poll)

@@ -1,0 +1,212 @@
+"""Multi-tenant fair scheduling at shard granularity.
+
+The service's unit of work is one *shard* (a contiguous lane range of
+one campaign), so fairness is enforced where it matters: a 10,000-lane
+campaign from one tenant cannot monopolize the worker pool — other
+tenants' shards interleave with it shard-for-shard.
+
+Three mechanisms, all deterministic (no clocks, no randomness — the
+fairness tests assert exact interleavings):
+
+* **Weighted round-robin across tenants** — smooth WRR (the nginx
+  algorithm): each eligible tenant's ``current`` credit grows by its
+  weight every pick; the largest credit wins and pays back the total
+  eligible weight.  Weight 2 vs 1 yields the A, B, A, A, B, A ...
+  pattern rather than bursts.
+* **Round-robin across a tenant's campaigns** — within a tenant, jobs
+  take turns shard-for-shard (a tenant's second submission does not
+  wait for its first to finish).
+* **Per-tenant in-flight caps + bounded queue** — ``inflight_cap``
+  bounds how many of one tenant's shards may occupy workers at once;
+  ``max_queued`` bounds the total queued shards, and a submission that
+  would exceed it raises :class:`QueueFullError` (HTTP 429 on the
+  wire) instead of growing without bound.
+
+Cancellation removes a job's queued shards immediately (releasing
+queue slots); its in-flight shards finish in the workers and are
+discarded by the service on completion.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.utils.errors import QueueFullError, ServiceError
+
+__all__ = ["FairScheduler"]
+
+
+class _TenantState:
+    __slots__ = ("name", "weight", "current", "inflight", "jobs")
+
+    def __init__(self, name: str, weight: float):
+        self.name = name
+        self.weight = weight
+        self.current = 0.0  # smooth-WRR credit
+        self.inflight = 0
+        # job_id -> deque of pending tasks; OrderedDict gives intra-tenant
+        # round-robin by re-inserting the picked job at the back.
+        self.jobs: "OrderedDict[str, deque]" = OrderedDict()
+
+    @property
+    def pending(self) -> int:
+        return sum(len(q) for q in self.jobs.values())
+
+
+class FairScheduler:
+    """Deterministic weighted-fair shard queue (not thread-safe: the
+    service drives it from its single event loop)."""
+
+    def __init__(
+        self,
+        max_queued: int = 1024,
+        inflight_cap: Optional[int] = None,
+    ):
+        if max_queued <= 0:
+            raise ServiceError(
+                f"max_queued must be positive, got {max_queued}"
+            )
+        if inflight_cap is not None and inflight_cap <= 0:
+            raise ServiceError(
+                f"inflight_cap must be positive, got {inflight_cap}"
+            )
+        self.max_queued = max_queued
+        self.inflight_cap = inflight_cap
+        self._tenants: Dict[str, _TenantState] = {}
+        self._job_tenant: Dict[str, str] = {}
+        self._queued = 0
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self,
+        job_id: str,
+        tenant: str,
+        weight: float,
+        tasks: List[Any],
+    ) -> None:
+        """Queue ``tasks`` (shards) for ``job_id`` under ``tenant``.
+
+        Raises :class:`QueueFullError` (queuing *none* of the tasks)
+        when they would push the total queue past ``max_queued``.
+        """
+        if weight <= 0:
+            raise ServiceError(f"tenant weight must be positive, got {weight}")
+        if job_id in self._job_tenant:
+            raise ServiceError(f"job {job_id!r} is already queued")
+        if self._queued + len(tasks) > self.max_queued:
+            raise QueueFullError(
+                f"queue full: {self._queued} shard(s) queued, submitting "
+                f"{len(tasks)} more would exceed max_queued={self.max_queued}"
+            )
+        t = self._tenants.get(tenant)
+        if t is None:
+            t = self._tenants[tenant] = _TenantState(tenant, weight)
+        t.weight = weight  # latest submission wins
+        t.jobs[job_id] = deque(tasks)
+        self._job_tenant[job_id] = tenant
+        self._queued += len(tasks)
+
+    # -- picking ---------------------------------------------------------------
+
+    def _eligible(self) -> List[_TenantState]:
+        return [
+            t for t in self._tenants.values()
+            if t.pending > 0
+            and (self.inflight_cap is None or t.inflight < self.inflight_cap)
+        ]
+
+    def next(self) -> Optional[Tuple[str, Any]]:
+        """Pick the next (job_id, task) fairly, or None if nothing is
+        eligible (empty, or every pending tenant is at its cap).
+
+        The pick counts against the tenant's in-flight total until the
+        service calls :meth:`task_done`.
+        """
+        eligible = self._eligible()
+        if not eligible:
+            return None
+        total = sum(t.weight for t in eligible)
+        for t in eligible:
+            t.current += t.weight
+        # Stable tie-break on tenant name keeps the order deterministic.
+        best = max(eligible, key=lambda t: (t.current, t.name))
+        best.current -= total
+        job_id, q = next(iter(best.jobs.items()))
+        task = q.popleft()
+        if q:
+            best.jobs.move_to_end(job_id)  # intra-tenant round-robin
+        else:
+            del best.jobs[job_id]
+            del self._job_tenant[job_id]
+        best.inflight += 1
+        self._queued -= 1
+        return job_id, task
+
+    def task_done(self, tenant: str) -> None:
+        """Release one in-flight slot for ``tenant`` (shard finished,
+        failed, or was discarded after cancellation)."""
+        t = self._tenants.get(tenant)
+        if t is None or t.inflight <= 0:
+            raise ServiceError(
+                f"task_done({tenant!r}) without a matching pick"
+            )
+        t.inflight -= 1
+
+    def requeue_front(self, job_id: str, tenant: str, weight: float,
+                      task: Any) -> None:
+        """Put a picked task back at the *front* of its job's queue.
+
+        The worker-death retry path: the task was already admitted once,
+        so this deliberately bypasses ``max_queued`` — dropping admitted
+        work on backpressure would lose a shard.
+        """
+        t = self._tenants.get(tenant)
+        if t is None:
+            t = self._tenants[tenant] = _TenantState(tenant, weight)
+        q = t.jobs.get(job_id)
+        if q is None:
+            q = t.jobs[job_id] = deque()
+            t.jobs.move_to_end(job_id, last=False)
+            self._job_tenant[job_id] = tenant
+        q.appendleft(task)
+        self._queued += 1
+
+    # -- cancellation ----------------------------------------------------------
+
+    def cancel(self, job_id: str) -> int:
+        """Drop ``job_id``'s queued tasks; returns how many were freed.
+
+        In-flight tasks are untouched — they drain normally and the
+        caller releases them with :meth:`task_done`.
+        """
+        tenant = self._job_tenant.pop(job_id, None)
+        if tenant is None:
+            return 0
+        t = self._tenants[tenant]
+        q = t.jobs.pop(job_id, None)
+        freed = len(q) if q else 0
+        self._queued -= freed
+        return freed
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    @property
+    def inflight(self) -> int:
+        return sum(t.inflight for t in self._tenants.values())
+
+    def tenant_stats(self) -> Dict[str, dict]:
+        return {
+            name: {
+                "weight": t.weight,
+                "queued": t.pending,
+                "inflight": t.inflight,
+                "jobs": list(t.jobs),
+            }
+            for name, t in sorted(self._tenants.items())
+        }

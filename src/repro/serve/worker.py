@@ -1,0 +1,105 @@
+"""The campaign service's shard worker loop.
+
+Unlike a :mod:`repro.cluster` worker — which is born bound to one
+campaign — a *service* worker serves shards from **many** campaigns
+over its lifetime, so it keeps a small LRU of compiled
+:class:`~repro.cluster.worker._WorkerContext` objects keyed by campaign
+signature: the first shard of a new campaign pays the compile, every
+later shard of that campaign reuses it (the paper's amortization
+argument applied across jobs instead of lanes).
+
+The same loop body runs in two homes:
+
+* ``workers > 0`` — spawn-started processes (``service_worker_main`` is
+  the ``mp.Process`` target; tasks/results cross mp queues), one per
+  worker, exactly like the cluster pool.
+* ``workers == 0`` — one plain thread inside the server process with
+  ``queue.Queue``s (the deterministic test/debug mode, mirroring the
+  coordinator's inline mode).
+
+Messages up the result queue::
+
+    ("ready",    worker_id, None,   pid)
+    ("progress", worker_id, job_id, shard_id, cycles_done)
+    ("result",   worker_id, job_id, shard_id, payload)
+    ("error",    worker_id, job_id, shard_id, "Type: text")
+    ("fatal",    worker_id, None,   None,     "Type: text")
+
+``progress`` events originate from the simulator's (rate-limited)
+``progress`` hook via the cluster worker's heartbeat machinery — the
+service turns them into the incremental job-status feed.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+
+from repro.cluster.worker import _WorkerContext
+
+__all__ = ["service_worker_main", "DEFAULT_CONTEXT_CACHE"]
+
+#: Compiled designs kept warm per worker; evicting one only costs a
+#: recompile on that campaign's next shard.
+DEFAULT_CONTEXT_CACHE = 4
+
+
+class _HeartbeatShim:
+    """Adapts cluster-worker heartbeats into job-tagged progress events.
+
+    :class:`_WorkerContext` emits ``("heartbeat", wid, shard_id,
+    cycles, now)`` — it has no concept of a job.  The shim stamps the
+    currently running job id on and forwards everything else unchanged.
+    """
+
+    def __init__(self, result_q, worker_id: int):
+        self.result_q = result_q
+        self.worker_id = worker_id
+        self.job_id = None
+
+    def put(self, msg) -> None:
+        if msg and msg[0] == "heartbeat":
+            _kind, wid, shard_id, cycles, _now = msg
+            self.result_q.put(
+                ("progress", wid, self.job_id, shard_id, int(cycles))
+            )
+
+
+def service_worker_main(worker_id: int, task_q, result_q, cfg: dict) -> None:
+    """Serve ``(job_id, spec, task)`` messages until the ``None`` sentinel.
+
+    A failure while building a context or running a shard is reported
+    as an ``error`` for that job and the worker keeps serving — one
+    tenant's broken design must not take the worker away from everyone
+    else (deterministic errors fail the *job*, never the service).
+    """
+    shim = _HeartbeatShim(result_q, worker_id)
+    contexts: "OrderedDict[str, _WorkerContext]" = OrderedDict()
+    cache_size = max(1, int(cfg.get("max_cached_designs",
+                                    DEFAULT_CONTEXT_CACHE)))
+    result_q.put(("ready", worker_id, None, os.getpid()))
+    while True:
+        msg = task_q.get()
+        if msg is None:
+            break
+        job_id, spec, task = msg
+        shim.job_id = job_id
+        shard_id = task["shard"][0]
+        try:
+            sig = spec.signature()
+            ctx = contexts.get(sig)
+            if ctx is None:
+                ctx = _WorkerContext(worker_id, spec, shim, cfg)
+                contexts[sig] = ctx
+                while len(contexts) > cache_size:
+                    contexts.popitem(last=False)
+            else:
+                contexts.move_to_end(sig)
+            payload = ctx.run_shard(task)
+        except BaseException as exc:  # noqa: BLE001 - must cross the queue
+            result_q.put(
+                ("error", worker_id, job_id, shard_id,
+                 f"{type(exc).__name__}: {exc}")
+            )
+            continue
+        result_q.put(("result", worker_id, job_id, shard_id, payload))

@@ -123,6 +123,18 @@ class ClusterError(ReproError):
     shard results are inconsistent (see :mod:`repro.cluster`)."""
 
 
+class ServiceError(ReproError):
+    """The campaign service rejected a request or hit an internal fault
+    (unknown job, malformed spec, store corruption; see
+    :mod:`repro.serve`)."""
+
+
+class QueueFullError(ServiceError):
+    """The service's bounded shard queue is full (backpressure): the
+    submission was rejected and should be retried later.  Maps to HTTP
+    429 on the wire."""
+
+
 class CheckpointError(ResilienceError):
     """A durable checkpoint could not be written, read, or restored."""
 

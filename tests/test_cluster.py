@@ -300,13 +300,33 @@ def test_progress_callback_fires_every_cycle():
     assert seen == list(range(9))
 
 
+def test_progress_callback_rate_limited():
+    bundle = get_design("counter")
+    flow = RTLFlow.from_source(bundle.source, bundle.top, lint=False)
+    sim = BatchSimulator(flow.compile(), 4, executor="graph")
+    bundle.preload(sim)
+    seen = []
+    # A huge min-interval suppresses every per-cycle call except the
+    # first (the timer starts expired) and the guaranteed final cycle.
+    sim.run(bundle.make_stimulus(4, 9, seed=0), progress=seen.append,
+            progress_min_interval=3600.0)
+    assert seen[0] == 0 and seen[-1] == 8
+    assert len(seen) < 9
+    # Default (0.0) still fires every cycle — behavior unchanged.
+    seen2 = []
+    sim.run(bundle.make_stimulus(4, 9, seed=0), progress=seen2.append,
+            progress_min_interval=0.0)
+    assert seen2 == list(range(9))
+
+
 # ---------------------------------------------------------------------------
 # Merge validation
 
 
-def _payload(sid, lo, hi, outputs, faults=()):
+def _payload(spec, sid, lo, hi, outputs, faults=()):
     return {
         "schema": 1,
+        "signature": spec.signature(),
         "shard": (sid, lo, hi),
         "outputs": outputs,
         "faults": list(faults),
@@ -318,13 +338,13 @@ def _payload(sid, lo, hi, outputs, faults=()):
 
 
 class TestMergePayloads:
-    def _spec(self, n=8):
-        return CampaignSpec(n=n, cycles=2, design="counter")
+    def _spec(self, n=8, **kw):
+        return CampaignSpec(n=n, cycles=2, design="counter", **kw)
 
     def test_merges_lane_slices(self):
         spec = self._spec()
-        p0 = _payload(0, 0, 5, {"x": np.arange(5, dtype=np.uint64)})
-        p1 = _payload(1, 5, 8, {"x": np.arange(5, 8, dtype=np.uint64)},
+        p0 = _payload(spec, 0, 0, 5, {"x": np.arange(5, dtype=np.uint64)})
+        p1 = _payload(spec, 1, 5, 8, {"x": np.arange(5, 8, dtype=np.uint64)},
                       faults=[{"lane": 1, "cycle": 3, "reason": "r"}])
         res = merge_payloads(spec, [p1, p0])  # order-independent
         np.testing.assert_array_equal(
@@ -335,15 +355,34 @@ class TestMergePayloads:
 
     def test_gap_rejected(self):
         spec = self._spec()
-        p0 = _payload(0, 0, 4, {"x": np.zeros(4, dtype=np.uint64)})
-        p2 = _payload(2, 5, 8, {"x": np.zeros(3, dtype=np.uint64)})
+        p0 = _payload(spec, 0, 0, 4, {"x": np.zeros(4, dtype=np.uint64)})
+        p2 = _payload(spec, 2, 5, 8, {"x": np.zeros(3, dtype=np.uint64)})
         with pytest.raises(ClusterError):
             merge_payloads(spec, [p0, p2])
 
     def test_short_coverage_rejected(self):
         spec = self._spec()
-        p0 = _payload(0, 0, 4, {"x": np.zeros(4, dtype=np.uint64)})
+        p0 = _payload(spec, 0, 0, 4, {"x": np.zeros(4, dtype=np.uint64)})
         with pytest.raises(ClusterError):
+            merge_payloads(spec, [p0])
+
+    def test_mismatched_signatures_rejected_before_tiling(self):
+        # A shard produced under a different spec (here: another seed)
+        # must be refused with a clear signature error even though its
+        # array shapes would tile cleanly — never a deep numpy error,
+        # never a silent merge of wrong lanes.
+        spec = self._spec()
+        other = self._spec(seed=99)
+        p0 = _payload(spec, 0, 0, 4, {"x": np.zeros(4, dtype=np.uint64)})
+        p1 = _payload(other, 1, 4, 8, {"x": np.zeros(4, dtype=np.uint64)})
+        with pytest.raises(ClusterError, match="mismatched campaign sig"):
+            merge_payloads(spec, [p0, p1])
+
+    def test_unsigned_payload_rejected(self):
+        spec = self._spec()
+        p0 = _payload(spec, 0, 0, 8, {"x": np.zeros(8, dtype=np.uint64)})
+        del p0["signature"]
+        with pytest.raises(ClusterError, match="signature"):
             merge_payloads(spec, [p0])
 
 
